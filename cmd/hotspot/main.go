@@ -1,0 +1,45 @@
+// Command hotspot regenerates the hotspot throughput tables of the paper
+// (tables 1, 2, and 3): for a topology and a hotspot traffic fraction it
+// draws random hotspot locations and reports the saturation throughput of
+// every routing scheme at each location, plus the average row.
+//
+// Examples:
+//
+//	hotspot -topo torus   -frac 0.05 -locations 10   # table 1, left half
+//	hotspot -topo torus   -frac 0.10 -locations 10   # table 1, right half
+//	hotspot -topo express -frac 0.03                 # table 2
+//	hotspot -topo cplant  -frac 0.05                 # table 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"itbsim/internal/cli"
+	"itbsim/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hotspot: ")
+	fs := flag.NewFlagSet("hotspot", flag.ExitOnError)
+	common := cli.AddCommon(fs)
+	locations := fs.Int("locations", 10, "number of random hotspot locations")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	env, err := common.Env()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loads := experiments.DefaultLoads(env.Topo, env.Scale)
+	rows, err := experiments.HotspotBattery(env, *common.Frac, *locations, loads, *common.Bytes, *common.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# %s %s, %d-byte messages, seed %d\n", env.Topo, env.Scale, *common.Bytes, *common.Seed)
+	fmt.Print(experiments.FormatHotspotTable(*common.Frac, rows))
+}

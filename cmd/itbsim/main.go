@@ -1,0 +1,93 @@
+// Command itbsim runs a single simulation point and prints its
+// measurements: latency, accepted traffic, ITB usage and pool statistics.
+//
+// Example:
+//
+//	itbsim -topo torus -scale medium -scheme itb-rr -traffic uniform -load 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"itbsim/internal/cli"
+	"itbsim/internal/experiments"
+	"itbsim/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("itbsim: ")
+	fs := flag.NewFlagSet("itbsim", flag.ExitOnError)
+	common := cli.AddCommon(fs)
+	scheme := fs.String("scheme", "itb-rr", "routing: updown, itb-sp, itb-rr, or ud-min")
+	load := fs.Float64("load", 0.01, "injection rate in flits/ns/switch")
+	util := fs.Bool("util", false, "collect and print link utilization")
+	trace := fs.Int("trace", 0, "print the last N packet life-cycle events")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	env, err := common.Env()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := common.Pattern()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := cli.Scheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tracer *netsim.RingTracer
+	if *trace > 0 {
+		tracer = netsim.NewRingTracer(*trace)
+	}
+	var res *netsim.Result
+	var err2 error
+	if tracer != nil {
+		res, err2 = experiments.RunOneTraced(env, sch, pat, *load, *common.Bytes, *common.Seed, *util, tracer)
+	} else {
+		res, err2 = experiments.RunOne(env, sch, pat, *load, *common.Bytes, *common.Seed, *util)
+	}
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+
+	fmt.Printf("%s %s %s %s load=%.4f bytes=%d\n", env.Topo, env.Scale, sch, pat, *load, *common.Bytes)
+	fmt.Printf("  accepted traffic : %.5f flits/ns/switch (injected %.5f)\n", res.Accepted, res.Injected)
+	fmt.Printf("  avg latency      : %.0f ns (network only: %.0f ns, max %.0f ns)\n",
+		res.AvgLatencyNs, res.AvgNetLatencyNs, res.MaxLatencyNs)
+	fmt.Printf("  messages         : %d measured over %d cycles%s\n",
+		res.DeliveredMeasured, res.Cycles, truncNote(res.Truncated))
+	fmt.Printf("  ITBs per message : %.3f (pool peak %d B, overflows %d)\n",
+		res.AvgITBsPerMessage, res.PoolPeakBytes, res.PoolOverflows)
+	if *util && res.LinkBusy != nil {
+		fmt.Println(linkUtilString(env, res.LinkBusy))
+	}
+	if tracer != nil {
+		fmt.Printf("last %d of %d traced events:\n", len(tracer.Events()), tracer.Total())
+		for _, e := range tracer.Events() {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}
+
+func truncNote(t bool) string {
+	if t {
+		return " (truncated at MaxCycles)"
+	}
+	return ""
+}
+
+func linkUtilString(env *experiments.Env, busy []float64) string {
+	r, err := experiments.LinkUtilFromBusy(env, busy)
+	if err != nil {
+		return err.Error()
+	}
+	return r
+}

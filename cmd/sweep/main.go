@@ -1,0 +1,109 @@
+// Command sweep regenerates the latency-vs-accepted-traffic figures of the
+// paper (figures 7, 10, and 12): for one topology and traffic pattern it
+// sweeps ascending injection rates under all three routing schemes
+// (UP/DOWN, ITB-SP, ITB-RR) and prints the latency/traffic series plus the
+// saturation throughputs.
+//
+// Examples:
+//
+//	sweep -topo torus   -traffic uniform            # figure 7a
+//	sweep -topo express -traffic uniform            # figure 7b
+//	sweep -topo cplant  -traffic uniform            # figure 7c
+//	sweep -topo torus   -traffic bitrev             # figure 10a
+//	sweep -topo torus   -traffic local -radius 3    # figure 12a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"itbsim/internal/cli"
+	"itbsim/internal/experiments"
+	"itbsim/internal/stats"
+	"itbsim/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	common := cli.AddCommon(fs)
+	loadsFlag := fs.String("loads", "", "comma-separated injection rates (default: per-topology grid)")
+	svgOut := fs.String("svg", "", "also write the figure as an SVG plot to this file")
+	csvOut := fs.String("csv", "", "also write the raw series as CSV to this file")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	env, err := common.Env()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := common.Pattern()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loads, err := parseLoads(*loadsFlag, env, pat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cs, err := experiments.LatencyFigure(env, pat, loads, *common.Bytes, *common.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# %s %s %s, %d-byte messages, seed %d\n", env.Topo, env.Scale, pat, *common.Bytes, *common.Seed)
+	fmt.Print(cs.String())
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stats.WriteCSV(f, cs.Curves); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", *csvOut)
+	}
+
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("%s %s (%s)", env.Topo, pat, env.Scale)
+		if err := viz.CurvesSVG(f, title, cs.Curves); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", *svgOut)
+	}
+}
+
+func parseLoads(s string, env *experiments.Env, pat experiments.Pattern) ([]float64, error) {
+	if s == "" {
+		if pat.Kind == "local" {
+			return experiments.LocalLoads(env.Topo, env.Scale), nil
+		}
+		return experiments.DefaultLoads(env.Topo, env.Scale), nil
+	}
+	var loads []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %v", f, err)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}

@@ -1,0 +1,54 @@
+// Custom-topology shows the library on a user-supplied switch graph: an
+// irregular NOW-style network given as an edge list — the setting the
+// in-transit buffer mechanism was originally proposed for. It prints the
+// static routing statistics (how many minimal paths up*/down* forbids, how
+// many ITBs minimal routing needs) and runs a short simulation of each
+// scheme.
+//
+//	go run ./examples/custom-topology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itbsim"
+)
+
+func main() {
+	// A 10-switch irregular network, 4 hosts per switch.
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 5},
+		{5, 6}, {6, 7}, {7, 8}, {8, 4}, {9, 6}, {9, 1}, {3, 8},
+	}
+	net, err := itbsim.NewCustom("irregular-10", 10, edges, 4, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+
+	dest, err := itbsim.Uniform(net.NumHosts())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("scheme    minimal%  avgdist  avgITBs  |  accepted   latency(ns)")
+	for _, scheme := range []itbsim.Scheme{itbsim.UpDown, itbsim.ITBSP, itbsim.ITBRR} {
+		table, err := itbsim.BuildRoutes(net, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := table.ComputeStats()
+		res, err := itbsim.Simulate(itbsim.SimConfig{
+			Net: net, Table: table, Dest: dest,
+			Load: 0.03, MessageBytes: 512, Seed: 1,
+			WarmupMessages: 100, MeasureMessages: 500,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %7.1f%% %8.2f %8.2f  |  %.4f  %10.0f\n",
+			scheme, 100*st.MinimalFraction, st.AvgDistance, st.AvgITBs,
+			res.Accepted, res.AvgLatencyNs)
+	}
+}

@@ -1,0 +1,75 @@
+package itbsim
+
+import (
+	"fmt"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/stats"
+)
+
+// Curve is an ascending-load latency/traffic sweep of one routing scheme,
+// the unit of the paper's performance figures.
+type Curve = stats.Curve
+
+// SweepPoint is one load point of a Curve.
+type SweepPoint = stats.SweepPoint
+
+// LinkUtilReport summarises per-channel utilization (figures 8, 9, 11).
+type LinkUtilReport = stats.LinkUtilReport
+
+// SweepConfig configures a latency-vs-traffic sweep through the public API.
+type SweepConfig struct {
+	Net   *Network
+	Table *RoutingTable
+	Dest  DestFn
+	// Loads are the injection rates to visit, ascending, in
+	// flits/ns/switch. The sweep stops one point after saturation.
+	Loads           []float64
+	MessageBytes    int
+	Seed            int64
+	WarmupMessages  int
+	MeasureMessages int
+	MaxCycles       int64
+	Label           string
+}
+
+// Sweep runs the loads in order, cloning the routing table per point so the
+// round-robin state starts fresh, and stops one point after accepted
+// traffic first drops below 92% of the injected traffic.
+func Sweep(cfg SweepConfig) (Curve, error) {
+	c := Curve{Label: cfg.Label}
+	if len(cfg.Loads) == 0 {
+		return c, fmt.Errorf("itbsim: Sweep needs at least one load")
+	}
+	saturated := false
+	for i, load := range cfg.Loads {
+		res, err := Simulate(netsim.Config{
+			Net:             cfg.Net,
+			Table:           cfg.Table.Clone(),
+			Dest:            cfg.Dest,
+			Load:            load,
+			MessageBytes:    cfg.MessageBytes,
+			Seed:            cfg.Seed + int64(i)*101,
+			WarmupMessages:  cfg.WarmupMessages,
+			MeasureMessages: cfg.MeasureMessages,
+			MaxCycles:       cfg.MaxCycles,
+		})
+		if err != nil {
+			return c, err
+		}
+		c.Points = append(c.Points, SweepPoint{Load: load, Result: res})
+		if saturated {
+			break
+		}
+		if res.Accepted < 0.92*res.Injected {
+			saturated = true
+		}
+	}
+	return c, nil
+}
+
+// AnalyzeLinkUtil summarises a run's per-channel utilization relative to
+// the up*/down* root (switch 0 by default in this library).
+func AnalyzeLinkUtil(net *Network, linkBusy []float64, root, topN int) LinkUtilReport {
+	return stats.AnalyzeLinkUtil(net, linkBusy, root, topN)
+}

@@ -1,0 +1,158 @@
+package itbsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"itbsim"
+)
+
+func TestFacadeTopologies(t *testing.T) {
+	cases := []struct {
+		name            string
+		build           func() (*itbsim.Network, error)
+		switches, hosts int
+	}{
+		{"torus", func() (*itbsim.Network, error) { return itbsim.NewTorus(4, 4, 2) }, 16, 32},
+		{"express", func() (*itbsim.Network, error) { return itbsim.NewExpressTorus(8, 8, 1) }, 64, 64},
+		{"cplant", func() (*itbsim.Network, error) { return itbsim.NewCplant(1) }, 50, 50},
+		{"mesh", func() (*itbsim.Network, error) { return itbsim.NewMesh(3, 3, 1) }, 9, 9},
+		{"hypercube", func() (*itbsim.Network, error) { return itbsim.NewHypercube(4, 1) }, 16, 16},
+	}
+	for _, c := range cases {
+		net, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if net.Switches != c.switches || net.NumHosts() != c.hosts {
+			t.Errorf("%s: %d switches %d hosts, want %d/%d",
+				c.name, net.Switches, net.NumHosts(), c.switches, c.hosts)
+		}
+	}
+}
+
+func TestFacadeCustomTopology(t *testing.T) {
+	net, err := itbsim.NewCustom("line", 3, [][2]int{{0, 1}, {1, 2}}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := itbsim.BuildRoutes(net, itbsim.UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tab.ComputeStats()
+	// A line is a tree: up*/down* is always minimal.
+	if st.MinimalFraction != 1 {
+		t.Errorf("line topology minimal fraction = %f", st.MinimalFraction)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := itbsim.NewTorus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := itbsim.BuildRoutes(net, itbsim.ITBRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := itbsim.Uniform(net.NumHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := itbsim.Simulate(itbsim.SimConfig{
+		Net: net, Table: tab, Dest: dest,
+		Load: 0.02, MessageBytes: 128, Seed: 1,
+		WarmupMessages: 50, MeasureMessages: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted <= 0 || res.AvgLatencyNs <= 0 {
+		t.Errorf("degenerate result %+v", res)
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	net, err := itbsim.NewTorus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := itbsim.BuildRoutes(net, itbsim.UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := itbsim.Uniform(net.NumHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := itbsim.Sweep(itbsim.SweepConfig{
+		Net: net, Table: tab, Dest: dest,
+		Loads: []float64{0.01, 0.02}, MessageBytes: 128, Seed: 1,
+		WarmupMessages: 50, MeasureMessages: 150, Label: "facade",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("curve has %d points", len(curve.Points))
+	}
+	if curve.SaturationThroughput() <= 0 {
+		t.Error("no throughput measured")
+	}
+	if !strings.Contains(curve.Table(), "facade") {
+		t.Error("label missing from table output")
+	}
+	if _, err := itbsim.Sweep(itbsim.SweepConfig{Net: net, Table: tab, Dest: dest}); err == nil {
+		t.Error("empty load grid accepted")
+	}
+}
+
+func TestFacadeTrafficConstructors(t *testing.T) {
+	net, err := itbsim.NewTorus(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := itbsim.Uniform(net.NumHosts()); err != nil {
+		t.Error(err)
+	}
+	if _, err := itbsim.BitReversal(net.NumHosts()); err != nil {
+		t.Error(err)
+	}
+	if _, err := itbsim.Hotspot(net.NumHosts(), 5, 0.05); err != nil {
+		t.Error(err)
+	}
+	if _, err := itbsim.Local(net, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeParamsAndAnalyze(t *testing.T) {
+	p := itbsim.DefaultParams()
+	if p.CycleNs != 6.25 || p.SlackBufferFlits != 80 {
+		t.Errorf("unexpected default params: %+v", p)
+	}
+	net, err := itbsim.NewTorus(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := itbsim.AnalyzeLinkUtil(net, make([]float64, net.NumChannels()), 0, 5)
+	if rep.Summary.N != net.NumChannels() {
+		t.Errorf("analyze saw %d channels", rep.Summary.N)
+	}
+}
+
+func TestFacadeBuildRoutesWith(t *testing.T) {
+	net, err := itbsim.NewTorus(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := itbsim.BuildRoutesConfig{Scheme: itbsim.ITBRR, Root: 5, MaxAlternatives: 3}
+	tab, err := itbsim.BuildRoutesWith(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tab.ComputeStats(); st.MaxAlternatives > 3 {
+		t.Errorf("alternatives cap ignored: %d", st.MaxAlternatives)
+	}
+}

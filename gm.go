@@ -1,0 +1,34 @@
+package itbsim
+
+import (
+	"itbsim/internal/gm"
+)
+
+// MessageLayer is a minimal GM-style host message-passing layer over the
+// simulator: messages larger than the MTU are segmented into packets and
+// reassembled at the destination. Use NewMessageLayer, Send, then Drain.
+type MessageLayer = gm.Layer
+
+// MessageLayerConfig configures NewMessageLayer.
+type MessageLayerConfig = gm.Config
+
+// MessageID identifies a message accepted by MessageLayer.Send.
+type MessageID = gm.MessageID
+
+// Message is the layer's view of one application message.
+type Message = gm.Message
+
+// MessageStats summarises completed traffic on a MessageLayer.
+type MessageStats = gm.Stats
+
+// Message statuses.
+const (
+	// MessagePending: not all segments delivered yet.
+	MessagePending = gm.Pending
+	// MessageDelivered: every segment arrived.
+	MessageDelivered = gm.Delivered
+)
+
+// NewMessageLayer builds a GM-style message layer over a network and
+// routing table.
+func NewMessageLayer(cfg MessageLayerConfig) (*MessageLayer, error) { return gm.New(cfg) }

@@ -1,0 +1,3 @@
+module itbsim
+
+go 1.22

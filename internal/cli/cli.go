@@ -1,0 +1,63 @@
+// Package cli holds the flag plumbing shared by the command-line tools in
+// cmd/: topology/scale/scheme/traffic selection mapped onto the experiment
+// harness.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"itbsim/internal/experiments"
+	"itbsim/internal/routes"
+)
+
+// Common are the flags every tool accepts.
+type Common struct {
+	Topo    *string
+	Scale   *string
+	Traffic *string
+	Bytes   *int
+	Seed    *int64
+	Radius  *int
+	Hotspot *int
+	Frac    *float64
+}
+
+// AddCommon registers the shared flags on a FlagSet.
+func AddCommon(fs *flag.FlagSet) *Common {
+	return &Common{
+		Topo:    fs.String("topo", "torus", "topology: torus, express, cplant, or irregular"),
+		Scale:   fs.String("scale", "medium", "scale: small, medium, or paper (512 hosts)"),
+		Traffic: fs.String("traffic", "uniform", "traffic: uniform, bitrev, hotspot, or local"),
+		Bytes:   fs.Int("bytes", 512, "message payload size in bytes"),
+		Seed:    fs.Int64("seed", 1, "random seed"),
+		Radius:  fs.Int("radius", 3, "local traffic: max switches to destination"),
+		Hotspot: fs.Int("hotspot", 0, "hotspot traffic: hotspot host"),
+		Frac:    fs.Float64("frac", 0.05, "hotspot traffic: fraction of traffic to the hotspot"),
+	}
+}
+
+// Env builds the experiment environment from the flags.
+func (c *Common) Env() (*experiments.Env, error) {
+	scale, err := experiments.ParseScale(*c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.NewEnv(*c.Topo, scale)
+}
+
+// Pattern builds the traffic pattern from the flags.
+func (c *Common) Pattern() (experiments.Pattern, error) {
+	switch *c.Traffic {
+	case "uniform", "bitrev":
+		return experiments.Pattern{Kind: *c.Traffic}, nil
+	case "hotspot":
+		return experiments.Pattern{Kind: "hotspot", HotspotHost: *c.Hotspot, HotspotFraction: *c.Frac}, nil
+	case "local":
+		return experiments.Pattern{Kind: "local", LocalRadius: *c.Radius}, nil
+	}
+	return experiments.Pattern{}, fmt.Errorf("unknown traffic %q", *c.Traffic)
+}
+
+// Scheme parses a routing scheme name.
+func Scheme(name string) (routes.Scheme, error) { return routes.ParseScheme(name) }

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Common {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := AddCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnvDefaults(t *testing.T) {
+	c := parse(t)
+	env, err := c.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Topo != "torus" || env.Net.Switches != 64 {
+		t.Errorf("default env = %s with %d switches", env.Topo, env.Net.Switches)
+	}
+}
+
+func TestEnvFlags(t *testing.T) {
+	c := parse(t, "-topo", "cplant", "-scale", "small")
+	env, err := c.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Topo != "cplant" || env.Net.Switches != 50 {
+		t.Errorf("env = %s with %d switches", env.Topo, env.Net.Switches)
+	}
+}
+
+func TestEnvErrors(t *testing.T) {
+	if _, err := parse(t, "-scale", "gigantic").Env(); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, err := parse(t, "-topo", "donut").Env(); err == nil {
+		t.Error("bad topology accepted")
+	}
+}
+
+func TestPatternFlags(t *testing.T) {
+	p, err := parse(t).Pattern()
+	if err != nil || p.Kind != "uniform" {
+		t.Errorf("default pattern = %v, %v", p, err)
+	}
+	p, err = parse(t, "-traffic", "hotspot", "-hotspot", "7", "-frac", "0.1").Pattern()
+	if err != nil || p.HotspotHost != 7 || p.HotspotFraction != 0.1 {
+		t.Errorf("hotspot pattern = %v, %v", p, err)
+	}
+	p, err = parse(t, "-traffic", "local", "-radius", "4").Pattern()
+	if err != nil || p.LocalRadius != 4 {
+		t.Errorf("local pattern = %v, %v", p, err)
+	}
+	if _, err := parse(t, "-traffic", "storm").Pattern(); err == nil {
+		t.Error("bad traffic accepted")
+	}
+}
+
+func TestScheme(t *testing.T) {
+	if _, err := Scheme("itb-rr"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Scheme("nope"); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}

@@ -1,0 +1,324 @@
+// Package experiments assembles topologies, routing tables, traffic
+// patterns and the simulator into the exact experiments of the paper's
+// evaluation (§4.7): latency-vs-accepted-traffic sweeps (figures 7, 10,
+// 12), link-utilization snapshots (figures 8, 9, 11), and hotspot
+// throughput batteries (tables 1–3).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/routes"
+	"itbsim/internal/stats"
+	"itbsim/internal/topology"
+	"itbsim/internal/traffic"
+)
+
+// Scale selects the experiment size. The paper scale matches §4.1 exactly;
+// the smaller scales keep the switch fabric (so routing properties are
+// unchanged) but attach fewer hosts and measure fewer messages, making the
+// full suite runnable in seconds to minutes.
+type Scale int
+
+const (
+	// ScaleSmall: 4x4 switch fabrics, 2 hosts per switch. Unit tests.
+	ScaleSmall Scale = iota
+	// ScaleMedium: the paper's switch fabrics, 2 hosts per switch.
+	// Default for benchmarks.
+	ScaleMedium
+	// ScalePaper: §4.1 exactly — 64-switch tori with 8 hosts per switch
+	// (512 hosts), 50-switch CPLANT with 400 hosts.
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScalePaper:
+		return "paper"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// ParseScale converts a command-line name.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "paper", "full":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (want small, medium, or paper)", s)
+}
+
+// Topologies evaluated by the paper, plus the random irregular NOWs of the
+// companion studies.
+const (
+	TopoTorus     = "torus"
+	TopoExpress   = "express"
+	TopoCplant    = "cplant"
+	TopoIrregular = "irregular"
+)
+
+// BuildNetwork constructs one of the paper's topologies at a scale.
+func BuildNetwork(topo string, scale Scale) (*topology.Network, error) {
+	rows, cols, hosts := 8, 8, 8
+	switch scale {
+	case ScaleSmall:
+		rows, cols, hosts = 4, 4, 2
+	case ScaleMedium:
+		hosts = 2
+	case ScalePaper:
+	default:
+		return nil, fmt.Errorf("experiments: unknown scale %v", scale)
+	}
+	switch topo {
+	case TopoTorus:
+		return topology.NewTorus(rows, cols, hosts, 16)
+	case TopoExpress:
+		return topology.NewExpressTorus(rows, cols, hosts, 16)
+	case TopoCplant:
+		// CPLANT's switch fabric is fixed; only the host count scales.
+		return topology.NewCplant(hosts, 16)
+	case TopoIrregular:
+		// A fixed-seed random irregular NOW sized like the tori's fabric.
+		return topology.NewRandomIrregular(rows*cols, 4, hosts, 16, 20000)
+	}
+	return nil, fmt.Errorf("experiments: unknown topology %q (want torus, express, cplant, or irregular)", topo)
+}
+
+// MeasurePreset bundles the run-length parameters of a scale.
+type MeasurePreset struct {
+	Warmup    int
+	Measure   int
+	MaxCycles int64
+}
+
+// PresetFor returns the measurement protocol used at a scale.
+func PresetFor(scale Scale) MeasurePreset {
+	switch scale {
+	case ScaleSmall:
+		return MeasurePreset{Warmup: 100, Measure: 600, MaxCycles: 8_000_000}
+	case ScaleMedium:
+		return MeasurePreset{Warmup: 300, Measure: 2000, MaxCycles: 12_000_000}
+	default:
+		return MeasurePreset{Warmup: 1000, Measure: 8000, MaxCycles: 30_000_000}
+	}
+}
+
+// Env caches a network and its routing tables across the experiments that
+// share them.
+type Env struct {
+	Topo  string
+	Scale Scale
+	Net   *topology.Network
+
+	mu     sync.Mutex
+	tables map[routes.Scheme]*routes.Table
+}
+
+// NewEnv builds the network for a topology/scale pair.
+func NewEnv(topo string, scale Scale) (*Env, error) {
+	net, err := BuildNetwork(topo, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Topo: topo, Scale: scale, Net: net, tables: map[routes.Scheme]*routes.Table{}}, nil
+}
+
+// Table returns the (cached) routing table for a scheme. The returned table
+// is the master copy; clone it before concurrent use.
+func (e *Env) Table(s routes.Scheme) (*routes.Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tables[s]; ok {
+		return t, nil
+	}
+	t, err := routes.Build(e.Net, routes.DefaultConfig(s))
+	if err != nil {
+		return nil, err
+	}
+	e.tables[s] = t
+	return t, nil
+}
+
+// Pattern is a declarative traffic pattern specification.
+type Pattern struct {
+	Kind            string  // "uniform", "bitrev", "hotspot", "local"
+	HotspotHost     int     // hotspot only
+	HotspotFraction float64 // hotspot only, e.g. 0.05
+	LocalRadius     int     // local only, e.g. 3
+}
+
+// DestFn instantiates the pattern for a network.
+func (p Pattern) DestFn(net *topology.Network) (netsim.DestFn, error) {
+	switch p.Kind {
+	case "uniform":
+		return traffic.Uniform(net.NumHosts())
+	case "bitrev":
+		return traffic.BitReversal(net.NumHosts())
+	case "hotspot":
+		return traffic.Hotspot(net.NumHosts(), p.HotspotHost, p.HotspotFraction)
+	case "local":
+		return traffic.Local(net, p.LocalRadius)
+	}
+	return nil, fmt.Errorf("experiments: unknown traffic pattern %q", p.Kind)
+}
+
+func (p Pattern) String() string {
+	switch p.Kind {
+	case "hotspot":
+		return fmt.Sprintf("hotspot(%.0f%%@%d)", 100*p.HotspotFraction, p.HotspotHost)
+	case "local":
+		return fmt.Sprintf("local(r=%d)", p.LocalRadius)
+	default:
+		return p.Kind
+	}
+}
+
+// RunOne executes a single simulation point.
+func RunOne(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, collectUtil bool) (*netsim.Result, error) {
+	return RunOneTraced(e, scheme, p, load, msgBytes, seed, collectUtil, nil)
+}
+
+// RunOneTraced is RunOne with an optional packet life-cycle tracer.
+func RunOneTraced(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, collectUtil bool, tracer netsim.Tracer) (*netsim.Result, error) {
+	tab, err := e.Table(scheme)
+	if err != nil {
+		return nil, err
+	}
+	dest, err := p.DestFn(e.Net)
+	if err != nil {
+		return nil, err
+	}
+	pre := PresetFor(e.Scale)
+	return netsim.Run(netsim.Config{
+		Net:             e.Net,
+		Table:           tab.Clone(),
+		Dest:            dest,
+		Load:            load,
+		MessageBytes:    msgBytes,
+		Seed:            seed,
+		WarmupMessages:  pre.Warmup,
+		MeasureMessages: pre.Measure,
+		MaxCycles:       pre.MaxCycles,
+		CollectLinkUtil: collectUtil,
+		Tracer:          tracer,
+	})
+}
+
+// Sweep runs ascending loads for one scheme, stopping two points after
+// saturation is first observed (accepted < 92% of injected), and returns
+// the latency/traffic curve.
+func Sweep(e *Env, scheme routes.Scheme, p Pattern, loads []float64, msgBytes int, seed int64) (stats.Curve, error) {
+	curve := stats.Curve{Label: fmt.Sprintf("%s %s %s", e.Topo, scheme, p)}
+	type job struct {
+		idx  int
+		load float64
+	}
+	type done struct {
+		idx int
+		res *netsim.Result
+		err error
+	}
+	// Loads run in parallel; saturation-based early stop works on the
+	// completed prefix. To bound wasted work, run in chunks of the worker
+	// count.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(loads) {
+		workers = len(loads)
+	}
+	results := make([]*netsim.Result, len(loads))
+	saturatedAt := -1
+	for start := 0; start < len(loads); start += workers {
+		end := start + workers
+		if end > len(loads) {
+			end = len(loads)
+		}
+		ch := make(chan done, end-start)
+		for i := start; i < end; i++ {
+			go func(j job) {
+				res, err := RunOne(e, scheme, p, j.load, msgBytes, seed+int64(j.idx)*101, false)
+				ch <- done{idx: j.idx, res: res, err: err}
+			}(job{idx: i, load: loads[i]})
+		}
+		for i := start; i < end; i++ {
+			d := <-ch
+			if d.err != nil {
+				return curve, d.err
+			}
+			results[d.idx] = d.res
+		}
+		for i := start; i < end; i++ {
+			if results[i].Accepted < 0.92*results[i].Injected && saturatedAt < 0 {
+				saturatedAt = i
+			}
+		}
+		if saturatedAt >= 0 && end > saturatedAt+1 {
+			results = results[:end]
+			break
+		}
+	}
+	for i, r := range results {
+		if r == nil {
+			break
+		}
+		curve.Points = append(curve.Points, stats.SweepPoint{Load: loads[i], Result: r})
+	}
+	return curve, nil
+}
+
+// DefaultLoads returns the sweep grid for a topology at a scale, covering
+// the paper's figure ranges with headroom. The same grid serves all
+// schemes; sweeps early-stop past saturation. The small (4x4) fabrics have
+// half the average distance and a quarter of the switches of the paper's,
+// so their per-switch saturation sits roughly 3x higher.
+func DefaultLoads(topo string, scale Scale) []float64 {
+	var base []float64
+	switch topo {
+	case TopoExpress:
+		base = []float64{0.01, 0.02, 0.03, 0.045, 0.06, 0.075, 0.09, 0.105, 0.12, 0.135, 0.15}
+	case TopoCplant:
+		base = []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.065, 0.08, 0.095, 0.11, 0.125}
+	default: // torus
+		base = []float64{0.002, 0.005, 0.008, 0.011, 0.014, 0.017, 0.021, 0.025, 0.029, 0.033, 0.037}
+	}
+	if scale == ScaleSmall {
+		return scaleLoads(base, 3)
+	}
+	return base
+}
+
+// LocalLoads is the wider grid used for the local traffic pattern (figure
+// 12), whose saturation points are several times higher.
+func LocalLoads(topo string, scale Scale) []float64 {
+	var base []float64
+	switch topo {
+	case TopoExpress:
+		base = []float64{0.05, 0.09, 0.13, 0.17, 0.21, 0.25, 0.29, 0.33}
+	case TopoCplant:
+		base = []float64{0.04, 0.07, 0.10, 0.13, 0.16, 0.19, 0.22}
+	default:
+		base = []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16}
+	}
+	if scale == ScaleSmall {
+		return scaleLoads(base, 2)
+	}
+	return base
+}
+
+func scaleLoads(base []float64, f float64) []float64 {
+	out := make([]float64, len(base))
+	for i, l := range base {
+		out[i] = l * f
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"itbsim/internal/routes"
+	"itbsim/internal/stats"
+	"itbsim/internal/topology"
+)
+
+// AllSchemes is the comparison set of every figure and table: the original
+// Myrinet routing and the two ITB path-selection policies.
+var AllSchemes = []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR}
+
+// CurveSet is one latency/traffic figure: one curve per routing scheme.
+type CurveSet struct {
+	Topo    string
+	Pattern Pattern
+	Curves  []stats.Curve
+}
+
+// LatencyFigure produces the three curves of one latency-vs-accepted-traffic
+// figure (figures 7, 10, and 12 of the paper).
+func LatencyFigure(e *Env, p Pattern, loads []float64, msgBytes int, seed int64) (CurveSet, error) {
+	cs := CurveSet{Topo: e.Topo, Pattern: p}
+	for _, sch := range AllSchemes {
+		c, err := Sweep(e, sch, p, loads, msgBytes, seed)
+		if err != nil {
+			return cs, fmt.Errorf("sweep %v: %w", sch, err)
+		}
+		cs.Curves = append(cs.Curves, c)
+	}
+	return cs, nil
+}
+
+// String renders every curve plus the saturation summary row.
+func (cs CurveSet) String() string {
+	var b strings.Builder
+	for _, c := range cs.Curves {
+		b.WriteString(c.Table())
+	}
+	b.WriteString("# saturation throughput (flits/ns/switch): ")
+	for i, c := range cs.Curves {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%.4f", AllSchemes[i], c.SaturationThroughput())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Saturation returns each scheme's saturation throughput, indexed like
+// AllSchemes.
+func (cs CurveSet) Saturation() []float64 {
+	out := make([]float64, len(cs.Curves))
+	for i, c := range cs.Curves {
+		out[i] = c.SaturationThroughput()
+	}
+	return out
+}
+
+// LinkUtilResult is one utilization snapshot (figures 8, 9, 11).
+type LinkUtilResult struct {
+	Scheme routes.Scheme
+	Load   float64
+	Report stats.LinkUtilReport
+	// Busy is the raw per-channel utilization, for rendering.
+	Busy []float64
+	// Grid is a per-switch heat map for grid topologies; empty otherwise.
+	Grid string
+}
+
+// LinkUtilSnapshot runs one scheme at one load with per-channel accounting.
+func LinkUtilSnapshot(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64) (LinkUtilResult, error) {
+	res, err := RunOne(e, scheme, p, load, msgBytes, seed, true)
+	if err != nil {
+		return LinkUtilResult{}, err
+	}
+	out := LinkUtilResult{Scheme: scheme, Load: load, Busy: res.LinkBusy}
+	out.Report = stats.AnalyzeLinkUtil(e.Net, res.LinkBusy, 0, 10)
+	if rows, cols, ok := GridShape(e); ok {
+		out.Grid = stats.UtilGrid(e.Net, res.LinkBusy, rows, cols)
+	}
+	return out, nil
+}
+
+// LinkUtilFromBusy renders a utilization report (plus grid heat map for the
+// tori) from a run's per-channel busy fractions.
+func LinkUtilFromBusy(e *Env, busy []float64) (string, error) {
+	rep := stats.AnalyzeLinkUtil(e.Net, busy, 0, 10)
+	out := rep.String()
+	if rows, cols, ok := GridShape(e); ok {
+		out += "per-switch max outgoing utilization (%):\n" + stats.UtilGrid(e.Net, busy, rows, cols)
+	}
+	return out, nil
+}
+
+// GridShape returns the row-major grid dimensions of the environment's
+// topology, for rendering (tori only).
+func GridShape(e *Env) (rows, cols int, ok bool) {
+	switch e.Topo {
+	case TopoTorus, TopoExpress:
+		switch e.Scale {
+		case ScaleSmall:
+			return 4, 4, true
+		default:
+			return 8, 8, true
+		}
+	}
+	return 0, 0, false
+}
+
+// HotspotRow is one line of tables 1–3: a hotspot location and the
+// saturation throughput of each scheme, indexed like AllSchemes.
+type HotspotRow struct {
+	Location   int
+	Throughput []float64
+}
+
+// HotspotBattery reproduces one fraction column of tables 1–3: nLocations
+// random hotspot hosts, and for each location and scheme the saturation
+// throughput under the hotspot pattern. Locations are drawn deterministically
+// from the seed, as the paper draws its "10 different hotspot locations".
+func HotspotBattery(e *Env, fraction float64, nLocations int, loads []float64, msgBytes int, seed int64) ([]HotspotRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]HotspotRow, 0, nLocations)
+	seen := map[int]bool{}
+	for len(rows) < nLocations {
+		h := rng.Intn(e.Net.NumHosts())
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		row := HotspotRow{Location: h, Throughput: make([]float64, len(AllSchemes))}
+		for si, sch := range AllSchemes {
+			c, err := Sweep(e, sch, Pattern{Kind: "hotspot", HotspotHost: h, HotspotFraction: fraction},
+				loads, msgBytes, seed+int64(h))
+			if err != nil {
+				return nil, fmt.Errorf("hotspot %d %v: %w", h, sch, err)
+			}
+			row.Throughput[si] = c.SaturationThroughput()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// HotspotAverages reduces a battery to its "Avg" table row.
+func HotspotAverages(rows []HotspotRow) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	avg := make([]float64, len(rows[0].Throughput))
+	for _, r := range rows {
+		for i, v := range r.Throughput {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(rows))
+	}
+	return avg
+}
+
+// FormatHotspotTable renders rows the way tables 1–3 print them.
+func FormatHotspotTable(fraction float64, rows []HotspotRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# hotspot %.0f%%: location  U/D      ITB-SP   ITB-RR\n", 100*fraction)
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-2d (host %3d)  ", i+1, r.Location)
+		for _, v := range r.Throughput {
+			fmt.Fprintf(&b, "%.4f   ", v)
+		}
+		b.WriteByte('\n')
+	}
+	avg := HotspotAverages(rows)
+	b.WriteString("Avg            ")
+	for _, v := range avg {
+		fmt.Fprintf(&b, "%.4f   ", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// SaturationSearch refines a scheme's saturation throughput by bisection:
+// it first sweeps the coarse grid to bracket the saturation load (last
+// accepted ≈ injected point vs first saturated point), then bisects the
+// bracket for the given number of iterations, returning the highest
+// accepted traffic observed. This gives the paper-style "throughput
+// achieved" with finer resolution than the grid alone.
+func SaturationSearch(e *Env, scheme routes.Scheme, p Pattern, loads []float64, msgBytes int, seed int64, iters int) (float64, error) {
+	best := 0.0
+	lo, hi := 0.0, 0.0
+	for _, load := range loads {
+		res, err := RunOne(e, scheme, p, load, msgBytes, seed, false)
+		if err != nil {
+			return 0, err
+		}
+		if res.Accepted > best {
+			best = res.Accepted
+		}
+		if res.Accepted < 0.92*res.Injected {
+			if hi == 0 {
+				hi = load
+			}
+			// Keep scanning: accepted traffic is not monotone around the
+			// knee, so the global maximum may sit past the first
+			// saturated point.
+		} else if hi == 0 {
+			lo = load
+		}
+	}
+	if hi == 0 {
+		// Never saturated within the grid; the best observed stands.
+		return best, nil
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		res, err := RunOne(e, scheme, p, mid, msgBytes, seed, false)
+		if err != nil {
+			return 0, err
+		}
+		if res.Accepted > best {
+			best = res.Accepted
+		}
+		if res.Accepted < 0.92*res.Injected {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// StaticRouteReport reproduces the static route statistics quoted in
+// §4.7.1 (minimal-path fraction, average distances, ITBs per route) for all
+// three schemes on a network.
+func StaticRouteReport(e *Env) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s): static route statistics\n", e.Topo, e.Scale)
+	fmt.Fprintf(&b, "%-8s %9s %8s %8s %6s\n", "scheme", "minimal%", "avgdist", "avgITBs", "alts")
+	for _, sch := range AllSchemes {
+		tab, err := e.Table(sch)
+		if err != nil {
+			return "", err
+		}
+		st := tab.ComputeStats()
+		fmt.Fprintf(&b, "%-8s %8.1f%% %8.2f %8.2f %6d\n",
+			sch.String(), 100*st.MinimalFraction, st.AvgDistance, st.AvgITBs, st.MaxAlternatives)
+	}
+	return b.String(), nil
+}
+
+// RootSwitch returns the up*/down* root used by the experiments (switch 0,
+// the top-left switch of the tori, matching the paper's figures).
+func RootSwitch(net *topology.Network) int { return 0 }

@@ -1,0 +1,216 @@
+package gm
+
+import (
+	"testing"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+func newLayer(t *testing.T, mtu int) (*Layer, *topology.Network) {
+	t.Helper()
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routes.Build(net, routes.DefaultConfig(routes.ITBRR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Config{Net: net, Table: tab, MTU: mtu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, net
+}
+
+func TestSingleSmallMessage(t *testing.T) {
+	l, _ := newLayer(t, 4096)
+	id, err := l.Send(0, 17, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := l.Message(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != Delivered || m.Segments != 1 {
+		t.Fatalf("message = %+v", m)
+	}
+	if m.LatencyNs <= 0 {
+		t.Errorf("latency = %f", m.LatencyNs)
+	}
+}
+
+func TestSegmentationMath(t *testing.T) {
+	l, _ := newLayer(t, 1024)
+	cases := []struct {
+		bytes, segs int
+	}{
+		{1, 1}, {1024, 1}, {1025, 2}, {4096, 4}, {4097, 5},
+	}
+	for _, c := range cases {
+		id, err := l.Send(0, 9, c.bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := l.Message(id)
+		if m.Segments != c.segs {
+			t.Errorf("%d bytes -> %d segments, want %d", c.bytes, m.Segments, c.segs)
+		}
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Delivered != st.Sent || st.Sent != len(cases) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLargeMessageAcrossITBRoute(t *testing.T) {
+	// A 64 KB message over 1 KB MTU: 64 segments, some of which will take
+	// ITB alternatives under round-robin selection.
+	l, _ := newLayer(t, 1024)
+	id, err := l.Send(1, 30, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := l.Message(id)
+	if m.Status != Delivered || m.Segments != 64 {
+		t.Fatalf("message = %+v", m)
+	}
+	// 64 KB at 160 MB/s is ~400 us of pure serialization; latency must be
+	// at least that and not absurdly more on an idle network.
+	serialNs := 64 * 1024 * 6.25
+	if m.LatencyNs < serialNs {
+		t.Errorf("latency %.0f ns below serialization bound %.0f ns", m.LatencyNs, serialNs)
+	}
+	if m.LatencyNs > 3*serialNs {
+		t.Errorf("latency %.0f ns suspiciously high on an idle network", m.LatencyNs)
+	}
+}
+
+func TestManySendersDrain(t *testing.T) {
+	l, net := newLayer(t, 512)
+	n := net.NumHosts()
+	var ids []MessageID
+	for src := 0; src < n; src++ {
+		id, err := l.Send(src, (src+n/2)%n, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		m, _ := l.Message(id)
+		if m.Status != Delivered {
+			t.Fatalf("message %d not delivered: %+v", id, m)
+		}
+	}
+	st := l.Stats()
+	if st.Delivered != n || st.TotalBytes != int64(n)*2048 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxLatencyNs < st.AvgLatencyNs {
+		t.Errorf("max %.0f < avg %.0f", st.MaxLatencyNs, st.AvgLatencyNs)
+	}
+}
+
+func TestInterleavedSendDrain(t *testing.T) {
+	l, _ := newLayer(t, 1024)
+	id1, err := l.Send(0, 5, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := l.Send(5, 0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []MessageID{id1, id2} {
+		m, _ := l.Message(id)
+		if m.Status != Delivered {
+			t.Fatalf("message %d pending after drain", id)
+		}
+	}
+	// Second message departed after the first completed.
+	m1, _ := l.Message(id1)
+	m2, _ := l.Message(id2)
+	if m2.sentCycle <= m1.sentCycle {
+		t.Error("interleaved sends share a timestamp")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	l, net := newLayer(t, 1024)
+	if _, err := l.Send(0, 0, 100); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := l.Send(-1, 3, 100); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := l.Send(0, net.NumHosts(), 100); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := l.Send(0, 1, 0); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := l.Message(999); err == nil {
+		t.Error("unknown message looked up")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routes.Build(net, routes.DefaultConfig(routes.UpDown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Net: net, Table: tab, MTU: 0}); err == nil {
+		t.Error("zero MTU accepted")
+	}
+}
+
+func TestTracerSeesSegments(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routes.Build(net, routes.DefaultConfig(routes.UpDown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct netsim.CountTracer
+	l, err := New(Config{Net: net, Table: tab, MTU: 256, Tracer: &ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Send(0, 3, 1000); err != nil { // 4 segments
+		t.Fatal(err)
+	}
+	if err := l.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Counts[netsim.EvGenerate] != 4 || ct.Counts[netsim.EvDeliver] != 4 {
+		t.Errorf("tracer counts = %+v", ct.Counts)
+	}
+}

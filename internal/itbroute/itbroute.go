@@ -1,0 +1,183 @@
+// Package itbroute computes minimal source routes that use in-transit
+// buffers (ITBs) to remain deadlock-free. The in-transit buffer mechanism
+// (§3 of the paper) splits a minimal path that is forbidden under up*/down*
+// into several valid up*/down* subpaths: at the switch where a down→up
+// transition would occur, the packet is addressed to a host attached to that
+// switch, completely ejected from the network, and re-injected as soon as
+// possible. Each subpath is a legal up*/down* path, so the composed route is
+// deadlock-free while always following a minimal path.
+package itbroute
+
+import (
+	"fmt"
+
+	"itbsim/internal/topology"
+	"itbsim/internal/updown"
+)
+
+// Split is a minimal switch path broken into legal up*/down* segments.
+type Split struct {
+	// Path is the full switch path, source switch to destination switch.
+	Path []int
+	// Breaks lists indices into Path (strictly between 0 and len(Path)-1)
+	// where the packet is ejected into an in-transit host. Empty means the
+	// path is already a legal up*/down* path.
+	Breaks []int
+}
+
+// NumITBs returns the number of in-transit hosts the split uses.
+func (s Split) NumITBs() int { return len(s.Breaks) }
+
+// Segments returns the switch subpaths between breaks. Each segment shares
+// its boundary switch with the next (the packet leaves and re-enters the
+// network at the same switch).
+func (s Split) Segments() [][]int {
+	bounds := make([]int, 0, len(s.Breaks)+2)
+	bounds = append(bounds, 0)
+	bounds = append(bounds, s.Breaks...)
+	bounds = append(bounds, len(s.Path)-1)
+	segs := make([][]int, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		segs = append(segs, s.Path[bounds[i]:bounds[i+1]+1])
+	}
+	return segs
+}
+
+// MinimalPaths enumerates up to limit shortest paths in the raw switch graph
+// from src to dst, in deterministic port-order DFS order. src == dst yields
+// the single zero-length path.
+func MinimalPaths(net *topology.Network, src, dst, limit int) [][]int {
+	if src == dst {
+		return [][]int{{src}}
+	}
+	rem := net.Distances(dst)
+	if rem[src] < 0 {
+		return nil
+	}
+	var out [][]int
+	path := make([]int, 0, rem[src]+1)
+	path = append(path, src)
+	var dfs func(sw int)
+	dfs = func(sw int) {
+		if len(out) >= limit {
+			return
+		}
+		if sw == dst {
+			cp := make([]int, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return
+		}
+		for _, nb := range net.Neighbors(sw) {
+			if rem[nb.Switch] != rem[sw]-1 {
+				continue
+			}
+			path = append(path, nb.Switch)
+			dfs(nb.Switch)
+			path = path[:len(path)-1]
+			if len(out) >= limit {
+				return
+			}
+		}
+	}
+	dfs(src)
+	return out
+}
+
+// SplitPath breaks an arbitrary switch path into legal up*/down* segments by
+// inserting in-transit hosts. It walks the path keeping track of the
+// up*/down* phase; when the next hop would take an "up" link after a "down"
+// link, the current segment is terminated at the latest switch visited so
+// far that has at least one host attached (normally the current switch),
+// and a new segment starts there with a fresh "up" phase.
+//
+// It returns an error if a needed break point has no host attached anywhere
+// in the pending segment; this cannot happen in the paper's topologies,
+// where every switch has 8 hosts.
+func SplitPath(a *updown.Assignment, path []int) (Split, error) {
+	net := a.Net
+	s := Split{Path: path}
+	if len(path) < 2 {
+		return s, nil
+	}
+	segStart := 0     // index of the first switch of the current segment
+	goneDown := false // current segment has taken a down hop
+	for i := 0; i+1 < len(path); i++ {
+		l := net.LinkBetween(path[i], path[i+1])
+		if l < 0 {
+			return Split{}, fmt.Errorf("itbroute: switches %d and %d not adjacent", path[i], path[i+1])
+		}
+		up := a.IsUpHop(l, path[i])
+		if up && goneDown {
+			// Must break the segment at or before switch i. Prefer the
+			// current switch; fall back towards the segment start until a
+			// switch with hosts is found. Breaking earlier is always safe:
+			// the prefix remains a legal up*/down* path, and the walk is
+			// re-run from the break.
+			br := -1
+			for j := i; j > segStart; j-- {
+				if len(net.HostsAt(path[j])) > 0 {
+					br = j
+					break
+				}
+			}
+			if br < 0 {
+				return Split{}, fmt.Errorf("itbroute: no host available to break path %v at index %d", path, i)
+			}
+			s.Breaks = append(s.Breaks, br)
+			segStart = br
+			goneDown = false
+			// Re-scan from the break: hops between br and i are re-played
+			// in the fresh phase.
+			i = br - 1
+			continue
+		}
+		if !up {
+			goneDown = true
+		}
+	}
+	// Sanity: each segment must be a legal up*/down* path.
+	for _, seg := range s.Segments() {
+		if !a.LegalSwitchPath(seg) {
+			return Split{}, fmt.Errorf("itbroute: internal error: segment %v of %v is illegal", seg, path)
+		}
+	}
+	return s, nil
+}
+
+// MinimalSplits enumerates up to limit minimal paths from src to dst and
+// splits each into legal up*/down* segments. The result preserves
+// enumeration order. Splits that fail (no host at a break switch) are
+// silently dropped; an error is returned only if no minimal path could be
+// split at all.
+func MinimalSplits(a *updown.Assignment, src, dst, limit int) ([]Split, error) {
+	paths := MinimalPaths(a.Net, src, dst, limit)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("itbroute: no path %d -> %d", src, dst)
+	}
+	out := make([]Split, 0, len(paths))
+	for _, p := range paths {
+		sp, err := SplitPath(a, p)
+		if err != nil {
+			continue
+		}
+		out = append(out, sp)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("itbroute: no splittable minimal path %d -> %d", src, dst)
+	}
+	return out, nil
+}
+
+// BestSplit returns the preferred single minimal split for ITB-SP: fewest
+// in-transit buffers first (a legal minimal up*/down* path needs none), then
+// enumeration order.
+func BestSplit(splits []Split) Split {
+	best := splits[0]
+	for _, s := range splits[1:] {
+		if s.NumITBs() < best.NumITBs() {
+			best = s
+		}
+	}
+	return best
+}

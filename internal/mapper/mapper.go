@@ -1,0 +1,257 @@
+// Package mapper simulates the automatic network configuration the Myrinet
+// Control Program performs at boot and whenever the topology changes (§2 of
+// the paper: "network adapters have mechanisms to discover the current
+// network configuration, being able to build routes between itself and the
+// rest of network hosts", and they "check for changes in the network
+// topology (shutdown of hosts, link/switch failures, start-up of new
+// hosts), in order to maintain the routing tables").
+//
+// The mapper explores from one host by sending probe packets along explicit
+// source routes (ordered port lists) and reading back what sits at the end
+// of each route: nothing, a host, or a switch identified by an opaque
+// fingerprint. From those answers it reconstructs the topology as a
+// topology.Network, on which the routing tables (up*/down* or ITB) are then
+// built. Faults are modelled by a FaultSet; re-running discovery after a
+// fault yields the surviving network, and Diff reports what changed.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"itbsim/internal/topology"
+)
+
+// PortKind classifies what a probe found plugged into a port.
+type PortKind int
+
+const (
+	// Empty means no cable, a failed link, or a dead device behind it.
+	Empty PortKind = iota
+	// HostPort means a host interface answered the probe.
+	HostPort
+	// SwitchPort means another switch answered the probe.
+	SwitchPort
+)
+
+// ProbeResult is the answer to one probe.
+type ProbeResult struct {
+	Kind PortKind
+	// Fingerprint identifies the answering switch (Kind == SwitchPort).
+	// Fingerprints are opaque and stable, like Myrinet switch identifiers
+	// learned during mapping.
+	Fingerprint uint64
+	// PeerPort is the port of the answering switch the probe entered
+	// through (Kind == SwitchPort).
+	PeerPort int
+	// HostID identifies the answering host (Kind == HostPort).
+	HostID int
+}
+
+// Prober sends probes into the network being discovered. Route is a list
+// of output ports: the first is taken at the mapper's own switch, each
+// subsequent one at the switch reached so far. An empty route asks the
+// mapper's own switch to identify itself.
+type Prober interface {
+	// MapperSwitch identifies the switch the mapping host is attached to.
+	MapperSwitch() ProbeResult
+	// Probe walks the port list and reports what the final port connects
+	// to. If the walk dies on the way (empty port, failed element), the
+	// result is Empty.
+	Probe(route []int) ProbeResult
+	// Ports returns the number of ports per switch (16 for Myrinet).
+	Ports() int
+}
+
+// Discovered is the outcome of a mapping pass.
+type Discovered struct {
+	// Net is the reconstructed topology. Switch and host IDs are
+	// assigned in discovery order and generally differ from the real
+	// network's IDs; Fingerprints and HostIDs give the stable identities.
+	Net *topology.Network
+	// Fingerprints[i] is the fingerprint of discovered switch i.
+	Fingerprints []uint64
+	// HostIDs[h] is the prober-side host identity of discovered host h.
+	HostIDs []int
+	// Probes is the number of probe packets spent.
+	Probes int
+}
+
+// Discover runs a full mapping pass: breadth-first over switches, probing
+// every port of every switch reached.
+func Discover(p Prober) (*Discovered, error) {
+	ports := p.Ports()
+	if ports < 1 {
+		return nil, fmt.Errorf("mapper: prober reports %d ports", ports)
+	}
+	root := p.MapperSwitch()
+	if root.Kind != SwitchPort {
+		return nil, fmt.Errorf("mapper: mapping host is not attached to a live switch")
+	}
+
+	d := &Discovered{}
+	idOf := map[uint64]int{}      // fingerprint -> discovered switch ID
+	routeTo := map[uint64][]int{} // fingerprint -> port route from the mapper switch
+
+	addSwitch := func(fp uint64, route []int) int {
+		id := len(d.Fingerprints)
+		d.Fingerprints = append(d.Fingerprints, fp)
+		idOf[fp] = id
+		routeTo[fp] = route
+		return id
+	}
+	addSwitch(root.Fingerprint, nil)
+
+	type hostAttach struct {
+		sw, port, hostID int
+	}
+	type linkEnd struct {
+		sw, port int
+	}
+	var hosts []hostAttach
+	links := map[[2]linkEnd]bool{}
+
+	// Breadth-first over discovered switches; the queue stores
+	// fingerprints so newly found switches are explored exactly once.
+	queue := []uint64{root.Fingerprint}
+	for len(queue) > 0 {
+		fp := queue[0]
+		queue = queue[1:]
+		sw := idOf[fp]
+		base := routeTo[fp]
+		for port := 0; port < ports; port++ {
+			route := append(append([]int{}, base...), port)
+			res := p.Probe(route)
+			d.Probes++
+			switch res.Kind {
+			case Empty:
+				// No cable, or a failed element: skip.
+			case HostPort:
+				hosts = append(hosts, hostAttach{sw: sw, port: port, hostID: res.HostID})
+			case SwitchPort:
+				peer, known := idOf[res.Fingerprint]
+				if !known {
+					peer = addSwitch(res.Fingerprint, route)
+					queue = append(queue, res.Fingerprint)
+				}
+				a := linkEnd{sw: sw, port: port}
+				b := linkEnd{sw: peer, port: res.PeerPort}
+				key := [2]linkEnd{a, b}
+				if b.sw < a.sw || (b.sw == a.sw && b.port < a.port) {
+					key = [2]linkEnd{b, a}
+				}
+				links[key] = true
+			}
+		}
+	}
+
+	// Rebuild a Network. The Builder assigns ports automatically, so wire
+	// links and hosts in deterministic (switch, port) order to keep the
+	// reconstruction stable; exact port numbers need not match the real
+	// network for routing purposes, only the wiring graph does.
+	keys := make([][2]linkEnd, 0, len(links))
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0].sw != b[0].sw {
+			return a[0].sw < b[0].sw
+		}
+		if a[0].port != b[0].port {
+			return a[0].port < b[0].port
+		}
+		if a[1].sw != b[1].sw {
+			return a[1].sw < b[1].sw
+		}
+		return a[1].port < b[1].port
+	})
+	sort.Slice(hosts, func(i, j int) bool {
+		if hosts[i].sw != hosts[j].sw {
+			return hosts[i].sw < hosts[j].sw
+		}
+		return hosts[i].port < hosts[j].port
+	})
+
+	b := topology.NewBuilder("discovered", len(d.Fingerprints), ports)
+	for _, k := range keys {
+		b.AddLink(k[0].sw, k[1].sw)
+	}
+	for _, h := range hosts {
+		b.AddHost(h.sw)
+		d.HostIDs = append(d.HostIDs, h.hostID)
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("mapper: reconstruction failed: %w", err)
+	}
+	d.Net = net
+	return d, nil
+}
+
+// Changes summarises the difference between two mapping passes, keyed by
+// the stable identities (switch fingerprints, host IDs).
+type Changes struct {
+	SwitchesLost   []uint64
+	SwitchesGained []uint64
+	HostsLost      []int
+	HostsGained    []int
+	LinksDelta     int // discovered-link count difference (new minus old)
+}
+
+// None reports whether nothing changed.
+func (c Changes) None() bool {
+	return len(c.SwitchesLost) == 0 && len(c.SwitchesGained) == 0 &&
+		len(c.HostsLost) == 0 && len(c.HostsGained) == 0 && c.LinksDelta == 0
+}
+
+// Diff compares two discovery passes.
+func Diff(old, new *Discovered) Changes {
+	var c Changes
+	oldFp := map[uint64]bool{}
+	for _, fp := range old.Fingerprints {
+		oldFp[fp] = true
+	}
+	newFp := map[uint64]bool{}
+	for _, fp := range new.Fingerprints {
+		newFp[fp] = true
+	}
+	for fp := range oldFp {
+		if !newFp[fp] {
+			c.SwitchesLost = append(c.SwitchesLost, fp)
+		}
+	}
+	for fp := range newFp {
+		if !oldFp[fp] {
+			c.SwitchesGained = append(c.SwitchesGained, fp)
+		}
+	}
+	oldH := map[int]bool{}
+	for _, h := range old.HostIDs {
+		oldH[h] = true
+	}
+	newH := map[int]bool{}
+	for _, h := range new.HostIDs {
+		newH[h] = true
+	}
+	for h := range oldH {
+		if !newH[h] {
+			c.HostsLost = append(c.HostsLost, h)
+		}
+	}
+	for h := range newH {
+		if !oldH[h] {
+			c.HostsGained = append(c.HostsGained, h)
+		}
+	}
+	c.LinksDelta = len(new.Net.Links) - len(old.Net.Links)
+	sortU64(c.SwitchesLost)
+	sortU64(c.SwitchesGained)
+	sort.Ints(c.HostsLost)
+	sort.Ints(c.HostsGained)
+	return c
+}
+
+func sortU64(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,257 @@
+package mapper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+	"itbsim/internal/updown"
+)
+
+func discover(t *testing.T, net *topology.Network, faults FaultSet, host int) *Discovered {
+	t.Helper()
+	d, err := Discover(&NetworkProber{Net: net, Faults: faults, MapperHost: host, Salt: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// isoCheck verifies the discovered network has the same switch count, link
+// count, host count, and degree sequence as the reference (isomorphism up
+// to relabeling is what routing needs).
+func isoCheck(t *testing.T, want, got *topology.Network) {
+	t.Helper()
+	if got.Switches != want.Switches {
+		t.Fatalf("switches = %d, want %d", got.Switches, want.Switches)
+	}
+	if len(got.Links) != len(want.Links) {
+		t.Fatalf("links = %d, want %d", len(got.Links), len(want.Links))
+	}
+	if got.NumHosts() != want.NumHosts() {
+		t.Fatalf("hosts = %d, want %d", got.NumHosts(), want.NumHosts())
+	}
+	degrees := func(n *topology.Network) []int {
+		d := make([]int, 0, n.Switches)
+		for s := 0; s < n.Switches; s++ {
+			links, hosts, _ := n.PortFanout(s)
+			d = append(d, links*100+hosts)
+		}
+		sortInts(d)
+		return d
+	}
+	dw, dg := degrees(want), degrees(got)
+	for i := range dw {
+		if dw[i] != dg[i] {
+			t.Fatalf("degree sequence differs at %d: %v vs %v", i, dw, dg)
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestDiscoverTorus(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := discover(t, net, FaultSet{}, 0)
+	isoCheck(t, net, d.Net)
+	if d.Probes == 0 {
+		t.Error("no probes counted")
+	}
+	// Every real host must be found exactly once.
+	seen := map[int]bool{}
+	for _, h := range d.HostIDs {
+		if seen[h] {
+			t.Fatalf("host %d discovered twice", h)
+		}
+		seen[h] = true
+	}
+	if len(seen) != net.NumHosts() {
+		t.Fatalf("found %d hosts, want %d", len(seen), net.NumHosts())
+	}
+}
+
+func TestDiscoverCplant(t *testing.T) {
+	net, err := topology.NewCplant(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := discover(t, net, FaultSet{}, 17)
+	isoCheck(t, net, d.Net)
+}
+
+func TestDiscoveredNetworkRoutes(t *testing.T) {
+	// The point of mapping: the reconstructed topology must support
+	// building all three routing schemes.
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := discover(t, net, FaultSet{}, 0)
+	for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR} {
+		tab, err := routes.Build(d.Net, routes.DefaultConfig(sch))
+		if err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+	}
+}
+
+func TestDiscoverWithFailedLink(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f FaultSet
+	f.FailLink(0)
+	d := discover(t, net, f, 0)
+	if len(d.Net.Links) != len(net.Links)-1 {
+		t.Errorf("links = %d, want %d", len(d.Net.Links), len(net.Links)-1)
+	}
+	if d.Net.Switches != net.Switches {
+		t.Errorf("a single link failure must not lose switches (torus is 4-connected)")
+	}
+	// Up*/down* still routes everywhere on the degraded network.
+	a, err := updown.NewAssignment(d.Net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := a.LegalDistances(0)
+	for s, dd := range legal {
+		if dd < 0 {
+			t.Fatalf("switch %d unreachable after single link failure", s)
+		}
+	}
+}
+
+func TestDiscoverWithFailedSwitch(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f FaultSet
+	f.FailSwitch(5)
+	d := discover(t, net, f, 0)
+	if d.Net.Switches != net.Switches-1 {
+		t.Errorf("switches = %d, want %d", d.Net.Switches, net.Switches-1)
+	}
+	// The failed switch takes its 2 hosts and 4 links with it.
+	if d.Net.NumHosts() != net.NumHosts()-2 {
+		t.Errorf("hosts = %d, want %d", d.Net.NumHosts(), net.NumHosts()-2)
+	}
+	if len(d.Net.Links) != len(net.Links)-4 {
+		t.Errorf("links = %d, want %d", len(d.Net.Links), len(net.Links)-4)
+	}
+}
+
+func TestDiscoverWithDeadHost(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f FaultSet
+	f.FailHost(9)
+	d := discover(t, net, f, 0)
+	if d.Net.NumHosts() != net.NumHosts()-1 {
+		t.Errorf("hosts = %d, want %d", d.Net.NumHosts(), net.NumHosts()-1)
+	}
+	for _, h := range d.HostIDs {
+		if h == 9 {
+			t.Error("dead host discovered")
+		}
+	}
+}
+
+func TestDiscoverFromDeadSwitchFails(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f FaultSet
+	f.FailSwitch(net.SwitchOf(3))
+	if _, err := Discover(&NetworkProber{Net: net, Faults: f, MapperHost: 3, Salt: 1}); err == nil {
+		t.Error("discovery from a host on a dead switch succeeded")
+	}
+}
+
+func TestDiffReportsChanges(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := discover(t, net, FaultSet{}, 0)
+	var f FaultSet
+	f.FailSwitch(7)
+	f.FailHost(20)
+	after := discover(t, net, f, 0)
+	c := Diff(before, after)
+	if c.None() {
+		t.Fatal("diff missed the failures")
+	}
+	if len(c.SwitchesLost) != 1 {
+		t.Errorf("switches lost = %v", c.SwitchesLost)
+	}
+	// Switch 7 takes its 2 hosts; host 20 dies separately: 3 hosts lost.
+	if len(c.HostsLost) != 3 {
+		t.Errorf("hosts lost = %v", c.HostsLost)
+	}
+	if len(c.SwitchesGained) != 0 || len(c.HostsGained) != 0 {
+		t.Errorf("phantom gains: %+v", c)
+	}
+	if c.LinksDelta != -4 {
+		t.Errorf("links delta = %d, want -4", c.LinksDelta)
+	}
+	// No change => empty diff.
+	again := discover(t, net, f, 0)
+	if d2 := Diff(after, again); !d2.None() {
+		t.Errorf("identical passes diff non-empty: %+v", d2)
+	}
+}
+
+func TestDiscoverDeterministic(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := discover(t, net, FaultSet{}, 0)
+	d2 := discover(t, net, FaultSet{}, 0)
+	if d1.Net.String() != d2.Net.String() || d1.Probes != d2.Probes {
+		t.Error("discovery not deterministic")
+	}
+	for i := range d1.Fingerprints {
+		if d1.Fingerprints[i] != d2.Fingerprints[i] {
+			t.Fatal("fingerprint order changed between passes")
+		}
+	}
+}
+
+func TestDiscoverPropertyRandomTopologies(t *testing.T) {
+	check := func(seed int64) bool {
+		sw := 4 + int(seed%13+13)%13
+		net, err := topology.NewRandomIrregular(sw, 4, 2, 16, seed)
+		if err != nil {
+			return false
+		}
+		d, err := Discover(&NetworkProber{Net: net, MapperHost: 0, Salt: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		return d.Net.Switches == net.Switches &&
+			len(d.Net.Links) == len(net.Links) &&
+			d.Net.NumHosts() == net.NumHosts()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package mapper
+
+import "itbsim/internal/topology"
+
+// FaultSet marks failed elements of a network. The zero value is the
+// fault-free network. Failed elements answer probes as if the cable were
+// unplugged, which is how the MCP perceives them.
+type FaultSet struct {
+	Links    map[int]bool // by link ID
+	Switches map[int]bool // by switch ID
+	Hosts    map[int]bool // by host ID
+}
+
+// FailLink marks a link failed (both directions).
+func (f *FaultSet) FailLink(id int) {
+	if f.Links == nil {
+		f.Links = map[int]bool{}
+	}
+	f.Links[id] = true
+}
+
+// FailSwitch marks a switch failed: every cable into it goes dark.
+func (f *FaultSet) FailSwitch(id int) {
+	if f.Switches == nil {
+		f.Switches = map[int]bool{}
+	}
+	f.Switches[id] = true
+}
+
+// FailHost marks a host interface dead.
+func (f *FaultSet) FailHost(id int) {
+	if f.Hosts == nil {
+		f.Hosts = map[int]bool{}
+	}
+	f.Hosts[id] = true
+}
+
+// NetworkProber implements Prober over a real topology.Network plus a fault
+// set, playing the role of the physical network during mapping. Switch
+// fingerprints are derived from the real switch IDs through a salted hash
+// so the mapper cannot simply read them off.
+type NetworkProber struct {
+	Net    *topology.Network
+	Faults FaultSet
+	// MapperHost is the host running the mapper.
+	MapperHost int
+	// Salt varies the fingerprints between prober instances.
+	Salt uint64
+}
+
+func (p *NetworkProber) fingerprint(sw int) uint64 {
+	x := uint64(sw+1) * 0x9e3779b97f4a7c15
+	x ^= p.Salt + 0x632be59bd9b4e019
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// Ports implements Prober.
+func (p *NetworkProber) Ports() int { return p.Net.SwitchPorts }
+
+// MapperSwitch implements Prober.
+func (p *NetworkProber) MapperSwitch() ProbeResult {
+	sw := p.Net.SwitchOf(p.MapperHost)
+	if p.Faults.Switches[sw] || p.Faults.Hosts[p.MapperHost] {
+		return ProbeResult{Kind: Empty}
+	}
+	return ProbeResult{Kind: SwitchPort, Fingerprint: p.fingerprint(sw)}
+}
+
+// Probe implements Prober: walk the port list from the mapper's switch and
+// report what the final port connects to.
+func (p *NetworkProber) Probe(route []int) ProbeResult {
+	sw := p.Net.SwitchOf(p.MapperHost)
+	if p.Faults.Switches[sw] {
+		return ProbeResult{Kind: Empty}
+	}
+	for i, port := range route {
+		last := i == len(route)-1
+		kind, link, nb, host := p.portContents(sw, port)
+		switch kind {
+		case Empty:
+			return ProbeResult{Kind: Empty}
+		case HostPort:
+			if !last {
+				// Probes cannot route through a host.
+				return ProbeResult{Kind: Empty}
+			}
+			return ProbeResult{Kind: HostPort, HostID: host}
+		case SwitchPort:
+			if last {
+				return ProbeResult{
+					Kind:        SwitchPort,
+					Fingerprint: p.fingerprint(nb.Switch),
+					PeerPort:    nb.PeerPort,
+				}
+			}
+			_ = link
+			sw = nb.Switch
+		}
+	}
+	// Empty route: identify the current switch (same as MapperSwitch).
+	return p.MapperSwitch()
+}
+
+// portContents inspects one port of one switch under the fault set.
+func (p *NetworkProber) portContents(sw, port int) (PortKind, int, topology.Neighbor, int) {
+	for _, nb := range p.Net.Neighbors(sw) {
+		if nb.Port != port {
+			continue
+		}
+		if p.Faults.Links[nb.Link] || p.Faults.Switches[nb.Switch] {
+			return Empty, 0, topology.Neighbor{}, 0
+		}
+		return SwitchPort, nb.Link, nb, 0
+	}
+	for _, h := range p.Net.HostsAt(sw) {
+		if p.Net.Hosts[h].Port != port {
+			continue
+		}
+		if p.Faults.Hosts[h] {
+			return Empty, 0, topology.Neighbor{}, 0
+		}
+		return HostPort, 0, topology.Neighbor{}, h
+	}
+	return Empty, 0, topology.Neighbor{}, 0
+}

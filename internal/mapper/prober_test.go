@@ -1,0 +1,107 @@
+package mapper
+
+import (
+	"testing"
+
+	"itbsim/internal/topology"
+)
+
+func TestProberMapperSwitch(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &NetworkProber{Net: net, MapperHost: 5, Salt: 3}
+	res := p.MapperSwitch()
+	if res.Kind != SwitchPort {
+		t.Fatalf("mapper switch result = %+v", res)
+	}
+	if res.Fingerprint != p.fingerprint(net.SwitchOf(5)) {
+		t.Error("fingerprint mismatch")
+	}
+	// Dead mapper host: no identity.
+	var f FaultSet
+	f.FailHost(5)
+	p2 := &NetworkProber{Net: net, Faults: f, MapperHost: 5, Salt: 3}
+	if p2.MapperSwitch().Kind != Empty {
+		t.Error("dead mapper host still answered")
+	}
+}
+
+func TestProbeWalks(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &NetworkProber{Net: net, MapperHost: 0, Salt: 1}
+	sw0 := net.SwitchOf(0)
+
+	// Empty probe identifies the mapper's own switch.
+	if res := p.Probe(nil); res.Kind != SwitchPort || res.Fingerprint != p.fingerprint(sw0) {
+		t.Errorf("empty probe = %+v", res)
+	}
+
+	// Probing each port finds either a switch, a host, or nothing, and
+	// switch results carry the correct peer port.
+	for port := 0; port < net.SwitchPorts; port++ {
+		res := p.Probe([]int{port})
+		switch res.Kind {
+		case SwitchPort:
+			found := false
+			for _, nb := range net.Neighbors(sw0) {
+				if nb.Port == port {
+					found = true
+					if res.Fingerprint != p.fingerprint(nb.Switch) || res.PeerPort != nb.PeerPort {
+						t.Errorf("port %d: wrong peer info %+v", port, res)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("port %d: phantom switch", port)
+			}
+		case HostPort:
+			if net.SwitchOf(res.HostID) != sw0 {
+				t.Errorf("port %d: host %d not on switch %d", port, res.HostID, sw0)
+			}
+		}
+	}
+
+	// A probe cannot route through a host.
+	hostPort := net.Hosts[0].Port
+	if res := p.Probe([]int{hostPort, 0}); res.Kind != Empty {
+		t.Errorf("probe routed through a host: %+v", res)
+	}
+}
+
+func TestFingerprintsDifferBySalt(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := &NetworkProber{Net: net, MapperHost: 0, Salt: 1}
+	p2 := &NetworkProber{Net: net, MapperHost: 0, Salt: 2}
+	if p1.fingerprint(0) == p2.fingerprint(0) {
+		t.Error("fingerprints identical across salts")
+	}
+	// And distinct across switches for one salt.
+	seen := map[uint64]bool{}
+	for s := 0; s < net.Switches; s++ {
+		fp := p1.fingerprint(s)
+		if seen[fp] {
+			t.Fatalf("fingerprint collision at switch %d", s)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestDiscoverBadProber(t *testing.T) {
+	if _, err := Discover(badProber{}); err == nil {
+		t.Error("prober with zero ports accepted")
+	}
+}
+
+type badProber struct{}
+
+func (badProber) MapperSwitch() ProbeResult { return ProbeResult{Kind: SwitchPort} }
+func (badProber) Probe([]int) ProbeResult   { return ProbeResult{} }
+func (badProber) Ports() int                { return 0 }

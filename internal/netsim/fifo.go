@@ -1,0 +1,78 @@
+package netsim
+
+// flitSeg is a run of consecutive flits of one packet inside a buffer.
+// Wormhole switching keeps a packet's flits contiguous, so a buffer is a
+// FIFO of such runs rather than of individual flits.
+type flitSeg struct {
+	pkt   *packet
+	flits int
+	tail  bool // the packet's last flit is inside this run
+}
+
+// fifo is a flit buffer: a queue of packet runs plus total occupancy.
+type fifo struct {
+	segs []flitSeg
+	head int
+	occ  int
+}
+
+func (f *fifo) empty() bool { return f.occ == 0 && f.head == len(f.segs) }
+
+// headSeg returns the first run, or nil when the buffer is empty of runs.
+// A run may momentarily have zero flits (header stripped, rest in flight);
+// it still owns the head of the FIFO until its tail passes.
+func (f *fifo) headSeg() *flitSeg {
+	if f.head == len(f.segs) {
+		return nil
+	}
+	return &f.segs[f.head]
+}
+
+// push adds n flits of pkt at the back, merging with the final run when it
+// belongs to the same packet and its tail has not yet been seen.
+func (f *fifo) push(pkt *packet, n int, tail bool) {
+	f.occ += n
+	if f.head < len(f.segs) {
+		last := &f.segs[len(f.segs)-1]
+		if last.pkt == pkt && !last.tail {
+			last.flits += n
+			last.tail = last.tail || tail
+			return
+		}
+	}
+	f.segs = append(f.segs, flitSeg{pkt: pkt, flits: n, tail: tail})
+}
+
+// take removes n flits from the head run (which must have at least n).
+func (f *fifo) take(n int) {
+	s := &f.segs[f.head]
+	s.flits -= n
+	f.occ -= n
+}
+
+// popIfDone advances past the head run once it is drained and its tail has
+// passed, compacting the backing slice when it grows long. It reports
+// whether a run was popped.
+func (f *fifo) popIfDone() bool {
+	if f.head == len(f.segs) {
+		return false
+	}
+	s := &f.segs[f.head]
+	if s.flits != 0 || !s.tail {
+		return false
+	}
+	f.segs[f.head] = flitSeg{} // release the packet pointer
+	f.head++
+	if f.head == len(f.segs) {
+		f.segs = f.segs[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 > len(f.segs) {
+		n := copy(f.segs, f.segs[f.head:])
+		for i := n; i < len(f.segs); i++ {
+			f.segs[i] = flitSeg{}
+		}
+		f.segs = f.segs[:n]
+		f.head = 0
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package netsim_test
+
+// Black-box integration tests combining the simulator with the real
+// traffic patterns and all three paper topologies. These live in an
+// external test package because internal/traffic itself depends on netsim
+// for the DestFn type.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+	"itbsim/internal/traffic"
+)
+
+func run(t *testing.T, net *topology.Network, sch routes.Scheme, dest netsim.DestFn, load float64, bytes int, params *netsim.Params) *netsim.Result {
+	t.Helper()
+	tab, err := routes.Build(net, routes.DefaultConfig(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := netsim.Config{
+		Net: net, Table: tab, Dest: dest,
+		Load: load, MessageBytes: bytes, Seed: 1,
+		WarmupMessages: 50, MeasureMessages: 250,
+	}
+	if params != nil {
+		cfg.Params = *params
+	}
+	res, err := netsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllTopologiesAllSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations too slow for -short")
+	}
+	nets := map[string]*topology.Network{}
+	var err error
+	if nets["torus"], err = topology.NewTorus(4, 4, 2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if nets["express"], err = topology.NewExpressTorus(4, 4, 2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if nets["cplant"], err = topology.NewCplant(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	for name, net := range nets {
+		dest, err := traffic.Uniform(net.NumHosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR} {
+			res := run(t, net, sch, dest, 0.02, 256, nil)
+			if res.DeliveredMeasured < 250 {
+				t.Errorf("%s/%v: delivered %d", name, sch, res.DeliveredMeasured)
+			}
+			if res.AvgLatencyNs <= 0 {
+				t.Errorf("%s/%v: latency %f", name, sch, res.AvgLatencyNs)
+			}
+		}
+	}
+}
+
+func TestAllPatternsOnTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations too slow for -short")
+	}
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, _ := traffic.Uniform(net.NumHosts())
+	bit, err := traffic.BitReversal(net.NumHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := traffic.Hotspot(net.NumHosts(), 3, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := traffic.Local(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dest := range map[string]netsim.DestFn{"uniform": uni, "bitrev": bit, "hotspot": hot, "local": loc} {
+		res := run(t, net, routes.ITBRR, dest, 0.02, 256, nil)
+		if res.DeliveredMeasured < 250 {
+			t.Errorf("%s: delivered %d", name, res.DeliveredMeasured)
+		}
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations too slow for -short")
+	}
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, _ := traffic.Uniform(net.NumHosts())
+	var last float64
+	for _, size := range []int{32, 512, 1024} {
+		res := run(t, net, routes.ITBRR, dest, 0.01, size, nil)
+		if res.AvgLatencyNs <= last {
+			t.Errorf("latency did not grow with message size: %d bytes -> %.0f ns (prev %.0f)",
+				size, res.AvgLatencyNs, last)
+		}
+		last = res.AvgLatencyNs
+	}
+}
+
+func TestITBPoolOverflowAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations too slow for -short")
+	}
+	// Shrink the ITB pool to less than one message: every in-transit
+	// packet overflows to host memory and is counted.
+	net, err := topology.NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, _ := traffic.Uniform(net.NumHosts())
+	p := netsim.DefaultParams()
+	p.ITBPoolBytes = 100
+	res := run(t, net, routes.ITBRR, dest, 0.01, 512, &p)
+	if res.AvgITBsPerMessage <= 0 {
+		t.Fatal("no ITB traffic generated")
+	}
+	if res.PoolOverflows == 0 {
+		t.Error("pool smaller than a message never overflowed")
+	}
+	if res.PoolPeakBytes <= p.ITBPoolBytes {
+		t.Errorf("peak %d not above the %d pool", res.PoolPeakBytes, p.ITBPoolBytes)
+	}
+}
+
+func TestPaperPoolSufficient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations too slow for -short")
+	}
+	// §3: "although this strategy requires an infinite number of buffers
+	// in theory, a very small number of buffers are required in practice".
+	// At moderate load the 90 KB pool must never overflow.
+	net, err := topology.NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, _ := traffic.Uniform(net.NumHosts())
+	res := run(t, net, routes.ITBRR, dest, 0.015, 512, nil)
+	if res.PoolOverflows != 0 {
+		t.Errorf("90KB pool overflowed %d times at moderate load", res.PoolOverflows)
+	}
+	if res.PoolPeakBytes == 0 {
+		t.Error("pool never used despite ITB routing")
+	}
+}
+
+func TestTruncationFlag(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, _ := traffic.Uniform(net.NumHosts())
+	tab, err := routes.Build(net, routes.DefaultConfig(routes.UpDown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsim.Run(netsim.Config{
+		Net: net, Table: tab, Dest: dest,
+		Load: 0.001, MessageBytes: 512, Seed: 1,
+		WarmupMessages: 0, MeasureMessages: 1_000_000,
+		MaxCycles: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("run hitting MaxCycles not flagged truncated")
+	}
+}
+
+func TestRandomTopologyNeverDeadlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations too slow for -short")
+	}
+	// Property: on random irregular topologies, every scheme's route set
+	// runs to completion (the watchdog inside Run is the deadlock
+	// detector).
+	check := func(seed int64) bool {
+		sw := 5 + int(seed%9+9)%9
+		net, err := topology.NewRandomIrregular(sw, 4, 2, 16, seed)
+		if err != nil {
+			return false
+		}
+		dest, err := traffic.Uniform(net.NumHosts())
+		if err != nil {
+			return false
+		}
+		for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR} {
+			tab, err := routes.Build(net, routes.DefaultConfig(sch))
+			if err != nil {
+				return false
+			}
+			res, err := netsim.Run(netsim.Config{
+				Net: net, Table: tab, Dest: dest,
+				Load: 0.05, MessageBytes: 128, Seed: seed,
+				WarmupMessages: 20, MeasureMessages: 100,
+			})
+			if err != nil || res.DeliveredMeasured < 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package netsim
+
+// flitInFlight is one flit travelling on a cable.
+type flitInFlight struct {
+	pkt    *packet
+	tail   bool
+	arrive int64
+}
+
+// signalInFlight is a stop/go control flit travelling back to the sender.
+type signalInFlight struct {
+	stop   bool
+	arrive int64
+}
+
+// link is one direction of a cable: switch-to-switch channels, host up-links
+// (NIC to switch) and host down-links (switch to NIC) all use the same
+// model. Flits enter at one flit per cycle when the sender is not stopped
+// and arrive LinkFlightCycles later; stop/go control flits travel the other
+// way with the same flight time.
+type link struct {
+	id int
+
+	// Receiving side: exactly one of recvPort (index into Sim.inPorts)
+	// and recvNIC (host ID) is >= 0.
+	recvPort int
+	recvNIC  int
+
+	stopped bool // sender-side view of the last control flit
+
+	flits   []flitInFlight
+	flHead  int
+	signals []signalInFlight
+	sgHead  int
+
+	busy        int64 // flits pushed during the measurement window
+	idleStopped int64 // cycles the sender had a flit ready but was stopped
+}
+
+// pushFlit puts one flit on the cable at the current cycle.
+func (l *link) pushFlit(s *Sim, pkt *packet, tail bool) {
+	l.flits = append(l.flits, flitInFlight{pkt: pkt, tail: tail, arrive: s.now + int64(s.p.LinkFlightCycles)})
+	if s.measuring {
+		l.busy++
+	}
+	s.progress++
+}
+
+// pushSignal sends a stop/go control flit back to the sender.
+func (l *link) pushSignal(s *Sim, stop bool) {
+	l.signals = append(l.signals, signalInFlight{stop: stop, arrive: s.now + int64(s.p.LinkFlightCycles)})
+}
+
+// deliver moves arrived flits into the receiver and applies arrived control
+// flits to the sender state. Called once per cycle, before switch and NIC
+// processing.
+func (l *link) deliver(s *Sim) {
+	for l.sgHead < len(l.signals) && l.signals[l.sgHead].arrive <= s.now {
+		l.stopped = l.signals[l.sgHead].stop
+		l.sgHead++
+	}
+	if l.sgHead == len(l.signals) {
+		l.signals = l.signals[:0]
+		l.sgHead = 0
+	}
+	for l.flHead < len(l.flits) && l.flits[l.flHead].arrive <= s.now {
+		f := l.flits[l.flHead]
+		l.flits[l.flHead] = flitInFlight{}
+		l.flHead++
+		if l.recvPort >= 0 {
+			s.inPorts[l.recvPort].receive(s, f.pkt, f.tail)
+		} else {
+			s.nics[l.recvNIC].receive(s, f.pkt, f.tail)
+		}
+	}
+	if l.flHead == len(l.flits) {
+		l.flits = l.flits[:0]
+		l.flHead = 0
+	}
+}
+
+// idle reports whether the cable carries no flits and no pending signals.
+func (l *link) idle() bool {
+	return l.flHead == len(l.flits) && l.sgHead == len(l.signals)
+}

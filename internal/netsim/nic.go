@@ -1,0 +1,246 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// reinjState tracks one in-transit packet inside a NIC, from the arrival of
+// its header until its re-injection completes.
+type reinjState struct {
+	pkt      *packet
+	expected int // flits this ejection will deliver into the NIC
+	received int
+	recvDone bool
+	readyAt  int64 // cycle the re-injection DMA is programmed; -1 until detection
+	queued   bool  // moved to the re-injection queue
+	toSend   int   // expected - 1 (the ITB mark is stripped)
+	sent     int
+}
+
+// injection is the packet currently streaming out of the NIC.
+type injection struct {
+	pkt    *packet
+	toSend int
+	sent   int
+	reinj  *reinjState // nil for locally generated packets
+}
+
+// nic models one Myrinet network interface card: message generation,
+// source-route injection, reception, and the in-transit buffer mechanism.
+type nic struct {
+	host   int
+	upLink int // host -> switch link
+
+	// Injection.
+	sendQ  []*packet
+	sendQH int
+	reinjQ []*reinjState
+	reinjH int
+	cur    injection
+	active bool
+
+	// Reception (one inbound packet at a time on the down-link).
+	rxPkt      *packet
+	rxCount    int
+	rxExpected int
+	rxStart    int64
+	rxReinj    *reinjState
+
+	// In-transit packets being received or awaiting their DMA timer.
+	pending []*reinjState
+
+	// In-transit buffer pool accounting.
+	poolUsed  int
+	poolPeak  int
+	overflows int64
+
+	// Generation process.
+	rng     *rand.Rand
+	nextGen float64
+	stopGen bool
+
+	// Bubble accounting for Params.SourceBubblePeriod.
+	sinceBubble int
+}
+
+// receive accepts one flit from the down-link.
+func (n *nic) receive(s *Sim, pkt *packet, tail bool) {
+	if n.rxPkt != pkt {
+		if n.rxPkt != nil && n.rxCount != n.rxExpected {
+			panic(fmt.Sprintf("netsim: host %d: new packet while %d/%d flits of previous outstanding",
+				n.host, n.rxCount, n.rxExpected))
+		}
+		n.startReception(s, pkt)
+	}
+	n.rxCount++
+	s.progress++
+	if n.rxReinj != nil {
+		r := n.rxReinj
+		r.received++
+		if r.readyAt < 0 && r.received >= min(s.p.ITBDetectFlits, r.expected) {
+			r.readyAt = s.now + int64(s.p.ITBDMAFlits)
+		}
+		if tail {
+			r.recvDone = true
+			if r.received != r.expected {
+				panic("netsim: ITB reception count mismatch")
+			}
+		}
+		if tail {
+			n.rxPkt = nil
+			n.rxReinj = nil
+		}
+		return
+	}
+	if tail {
+		if n.rxCount != n.rxExpected {
+			panic(fmt.Sprintf("netsim: host %d: delivered %d flits, expected %d", n.host, n.rxCount, n.rxExpected))
+		}
+		s.deliver(pkt)
+		n.rxPkt = nil
+	}
+}
+
+func (n *nic) startReception(s *Sim, pkt *packet) {
+	n.rxPkt = pkt
+	n.rxCount = 0
+	n.rxExpected = pkt.wireFlits
+	n.rxStart = s.now
+	n.rxReinj = nil
+	if !(pkt.lastSegment() && pkt.dstHost == n.host) {
+		// In-transit packet: reserve pool space for the whole packet
+		// before the DMA is started (§3), falling back to host memory
+		// (counted, not simulated) when the pool is exhausted.
+		if s.cfg.Tracer != nil {
+			s.trace(Event{Kind: EvEject, Packet: pkt.id, Host: n.host})
+		}
+		r := &reinjState{pkt: pkt, expected: pkt.wireFlits, readyAt: -1, toSend: pkt.wireFlits - 1}
+		n.poolUsed += r.expected
+		if n.poolUsed > n.poolPeak {
+			n.poolPeak = n.poolUsed
+		}
+		if n.poolUsed > s.p.ITBPoolBytes {
+			n.overflows++
+		}
+		n.pending = append(n.pending, r)
+		n.rxReinj = r
+	}
+}
+
+// tick runs the per-cycle NIC work: DMA timers, message generation, and
+// starting a new injection when the previous one finished.
+func (n *nic) tick(s *Sim) {
+	// Promote in-transit packets whose re-injection DMA has been
+	// programmed.
+	if len(n.pending) > 0 {
+		kept := n.pending[:0]
+		for _, r := range n.pending {
+			if !r.queued && r.readyAt >= 0 && s.now >= r.readyAt {
+				r.queued = true
+				n.reinjQ = append(n.reinjQ, r)
+			} else if !r.queued {
+				kept = append(kept, r)
+			}
+		}
+		n.pending = kept
+	}
+
+	// Message generation at a constant rate; stalls while the source
+	// queue is full (the network's backpressure beyond saturation).
+	if !n.stopGen {
+		for n.nextGen <= float64(s.now) {
+			if n.sendQLen() >= s.p.SourceQueueCap {
+				break
+			}
+			s.generate(n)
+			n.nextGen += s.genIntervalCycles
+		}
+	}
+
+	// Start the next injection when idle: in-transit packets first (they
+	// are re-injected "as soon as possible").
+	if !n.active {
+		if n.reinjH < len(n.reinjQ) {
+			r := n.reinjQ[n.reinjH]
+			n.reinjQ[n.reinjH] = nil
+			n.reinjH++
+			if n.reinjH == len(n.reinjQ) {
+				n.reinjQ = n.reinjQ[:0]
+				n.reinjH = 0
+			}
+			pkt := r.pkt
+			pkt.segIdx++
+			pkt.chanIdx = 0
+			pkt.wireFlits-- // the ITB mark is removed before re-injection
+			pkt.itbVisits++
+			n.cur = injection{pkt: pkt, toSend: r.toSend, reinj: r}
+			n.active = true
+			if s.cfg.Tracer != nil {
+				s.trace(Event{Kind: EvReinject, Packet: pkt.id, Host: n.host})
+			}
+		} else if n.sendQH < len(n.sendQ) {
+			pkt := n.sendQ[n.sendQH]
+			n.sendQ[n.sendQH] = nil
+			n.sendQH++
+			if n.sendQH == len(n.sendQ) {
+				n.sendQ = n.sendQ[:0]
+				n.sendQH = 0
+			}
+			pkt.injectCycle = s.now
+			n.cur = injection{pkt: pkt, toSend: pkt.wireFlits}
+			n.active = true
+			if s.cfg.Tracer != nil {
+				s.trace(Event{Kind: EvInject, Packet: pkt.id, Host: n.host})
+			}
+		}
+	}
+}
+
+func (n *nic) sendQLen() int { return len(n.sendQ) - n.sendQH }
+
+// tickTransfer pushes one flit of the current injection onto the up-link.
+// Re-injections never outrun reception: flit k can only leave once flit k+1
+// (counting the stripped mark) has arrived.
+func (n *nic) tickTransfer(s *Sim) {
+	if !n.active {
+		return
+	}
+	l := &s.links[n.upLink]
+	if l.stopped {
+		if s.measuring {
+			l.idleStopped++
+		}
+		return
+	}
+	if r := n.cur.reinj; r != nil && !r.recvDone && n.cur.sent >= r.received-1 {
+		return // next flit has not been received yet
+	}
+	// Footnote 1: source injections (not ITB re-injections, which stream
+	// from NIC memory) insert a bubble every SourceBubblePeriod flits.
+	if p := s.p.SourceBubblePeriod; p > 0 && n.cur.reinj == nil {
+		if n.sinceBubble >= p {
+			n.sinceBubble = 0
+			return // idle cycle: the bubble
+		}
+		n.sinceBubble++
+	}
+	last := n.cur.sent == n.cur.toSend-1
+	l.pushFlit(s, n.cur.pkt, last)
+	n.cur.sent++
+	if last {
+		if r := n.cur.reinj; r != nil {
+			r.sent = n.cur.sent
+			n.poolUsed -= r.expected
+		}
+		n.cur = injection{}
+		n.active = false
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+// Package netsim is a cycle-driven, flit-level simulator of Myrinet-style
+// networks with source routing. One simulator cycle is the time a one-byte
+// flit needs to cross a link boundary (6.25 ns at 160 MB/s). The model
+// follows §4.3–§4.5 of the paper:
+//
+//   - Links are pipelined: a new flit enters the cable every cycle and up to
+//     8 flits are in flight on a 10 m cable (49.2 ns fly time).
+//   - Flow control is hardware stop & go: the receiving side sends a stop
+//     (go) control flit when its 80-byte slack buffer fills over 56 bytes
+//     (empties below 40 bytes); control flits take a link flight to arrive.
+//   - Switches strip the first header flit to select the output port. If
+//     the output is free the first-flit latency is 150 ns; an output port
+//     processes one header at a time and is assigned to waiting packets in
+//     demand-slotted round-robin order. A crossbar lets unrelated packets
+//     cross simultaneously.
+//   - NICs inject one packet at a time (the whole packet is in NIC memory
+//     before transmission). An in-transit packet is detected 275 ns after
+//     its header reaches the NIC (44 bytes) and its re-injection DMA is
+//     programmed after 200 ns more (32 bytes); re-injection starts as soon
+//     as the output channel is free and never outruns reception. In-transit
+//     buffers are allocated from a 90 KB pool per NIC.
+package netsim
+
+import "fmt"
+
+// Params are the timing and sizing constants of the Myrinet model. The zero
+// value is not valid; start from DefaultParams.
+type Params struct {
+	CycleNs float64 // wall-clock duration of a cycle (one flit on a link)
+
+	LinkFlightCycles int // flits concurrently in flight on a link (cable delay)
+	RoutingCycles    int // switch routing decision (150 ns)
+
+	SlackBufferFlits int // input slack buffer per switch port (80 bytes)
+	StopThreshold    int // send stop when occupancy rises over this (56 bytes)
+	GoThreshold      int // send go when occupancy falls to this (40 bytes)
+
+	ITBDetectFlits int // bytes received before an in-transit packet is recognised (44)
+	ITBDMAFlits    int // further bytes received while the re-injection DMA is programmed (32)
+	ITBPoolBytes   int // in-transit buffer pool per NIC (90 KB)
+
+	// SourceQueueCap bounds the per-NIC queue of locally generated
+	// messages; generation stalls while the queue is full, which is how
+	// the network applies backpressure beyond saturation.
+	SourceQueueCap int
+
+	// SourceBubblePeriod models footnote 1 of the paper: due to limited
+	// memory bandwidth in the network interfaces, a source host may
+	// inject bubbles into the network, lowering the effective reception
+	// rate at the in-transit host. When > 0, source injections skip one
+	// cycle after every SourceBubblePeriod flits sent. 0 (the default)
+	// disables bubbles, matching the paper's assumption that the MCP
+	// avoids them.
+	SourceBubblePeriod int
+
+	// WatchdogCycles aborts the run if no flit moves for this long while
+	// packets are outstanding (deadlock detector; must never fire for the
+	// routing schemes under test).
+	WatchdogCycles int64
+}
+
+// DefaultParams returns the constants of §4.3–§4.5.
+func DefaultParams() Params {
+	return Params{
+		CycleNs:          6.25,
+		LinkFlightCycles: 8,  // 10 m x 4.92 ns/m = 49.2 ns ≈ 8 flit slots
+		RoutingCycles:    24, // 150 ns
+		SlackBufferFlits: 80,
+		StopThreshold:    56,
+		GoThreshold:      40,
+		ITBDetectFlits:   44, // 275 ns
+		ITBDMAFlits:      32, // 200 ns
+		ITBPoolBytes:     90 * 1024,
+		SourceQueueCap:   32,
+		WatchdogCycles:   1_000_000,
+	}
+}
+
+// Validate checks internal consistency of the parameters.
+func (p Params) Validate() error {
+	if p.CycleNs <= 0 {
+		return fmt.Errorf("netsim: CycleNs must be positive")
+	}
+	if p.LinkFlightCycles < 1 {
+		return fmt.Errorf("netsim: LinkFlightCycles must be >= 1")
+	}
+	if p.RoutingCycles < 0 {
+		return fmt.Errorf("netsim: RoutingCycles must be >= 0")
+	}
+	if p.GoThreshold >= p.StopThreshold {
+		return fmt.Errorf("netsim: go threshold %d must be below stop threshold %d", p.GoThreshold, p.StopThreshold)
+	}
+	// The slack buffer must absorb the worst-case overshoot: flits in
+	// flight when the stop is generated plus flits sent while the stop
+	// signal flies back.
+	if p.StopThreshold+2*p.LinkFlightCycles > p.SlackBufferFlits {
+		return fmt.Errorf("netsim: slack buffer %d cannot absorb stop threshold %d + 2x flight %d",
+			p.SlackBufferFlits, p.StopThreshold, p.LinkFlightCycles)
+	}
+	if p.ITBDetectFlits < 1 || p.ITBDMAFlits < 0 {
+		return fmt.Errorf("netsim: ITB delays must be positive")
+	}
+	if p.ITBPoolBytes < 0 {
+		return fmt.Errorf("netsim: ITB pool must be >= 0")
+	}
+	if p.SourceQueueCap < 1 {
+		return fmt.Errorf("netsim: source queue cap must be >= 1")
+	}
+	if p.SourceBubblePeriod < 0 {
+		return fmt.Errorf("netsim: source bubble period must be >= 0")
+	}
+	if p.WatchdogCycles < 1000 {
+		return fmt.Errorf("netsim: watchdog below 1000 cycles would misfire")
+	}
+	return nil
+}

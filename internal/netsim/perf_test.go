@@ -1,0 +1,38 @@
+package netsim
+
+import (
+	"testing"
+
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// BenchmarkMediumTorusPoint measures simulator throughput on the paper's
+// 8x8 fabric near the UP/DOWN saturation load. Used for profiling the
+// cycle loop.
+func BenchmarkMediumTorusPoint(b *testing.B) {
+	net, err := topology.NewTorus(8, 8, 2, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := routes.Build(net, routes.DefaultConfig(routes.UpDown))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Net:             net,
+			Table:           tab.Clone(),
+			Dest:            uniformDest(net.NumHosts()),
+			Load:            0.014,
+			MessageBytes:    512,
+			Seed:            int64(i + 1),
+			WarmupMessages:  100,
+			MeasureMessages: 500,
+			MaxCycles:       10_000_000,
+		}
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package netsim
+
+import "itbsim/internal/routes"
+
+// PredictZeroLoadLatencyNs computes the analytic no-contention latency of a
+// message over a given route, from the model's first principles:
+//
+//   - the first flit flies LinkFlightCycles to the first switch;
+//   - every switch spends RoutingCycles on the header and its output link
+//     another LinkFlightCycles of flight;
+//   - at an in-transit host the packet is detected after ITBDetectFlits
+//     flits, its DMA is programmed after ITBDMAFlits more, and the
+//     re-injected stream pays the NIC→switch flight again;
+//   - after the head arrives, the remaining flits stream at one per cycle.
+//
+// The simulator's single-packet latency matches this within a few cycles
+// (see TestPredictMatchesSimulation), which pins the cycle-level model to
+// the published Myrinet timings.
+func PredictZeroLoadLatencyNs(r *routes.Route, payloadBytes int, p Params) float64 {
+	cycles := 0.0
+	wire := float64(payloadBytes + headerFlits(r))
+
+	for segIdx, seg := range r.Segs {
+		// Head path through this segment: NIC (or previous switch) link,
+		// then per-switch routing + link flight.
+		cycles += float64(p.LinkFlightCycles) // injection link to first switch
+		switches := len(seg.Channels) + 1
+		cycles += float64(switches) * float64(p.RoutingCycles+p.LinkFlightCycles)
+		wire -= float64(switches) // one route byte stripped per switch
+
+		last := segIdx == len(r.Segs)-1
+		if !last {
+			// The in-transit NIC overlaps reception with detection and
+			// DMA programming: re-injection of the first flit happens
+			// min(detect, len) + dma flits after the head arrived.
+			arrived := wire
+			detect := float64(p.ITBDetectFlits)
+			if detect > arrived {
+				detect = arrived
+			}
+			cycles += detect + float64(p.ITBDMAFlits)
+			wire-- // the ITB mark is stripped before re-injection
+		}
+	}
+	// Tail serialization: the destination has the head; the remaining
+	// wire-1 flits stream at one flit per cycle.
+	cycles += wire - 1
+	return cycles * p.CycleNs
+}
+
+// PredictTableZeroLoadLatencyNs averages the prediction over every ordered
+// switch pair's first route alternative, weighted equally — an analytic
+// stand-in for the zero-load point of a latency/traffic curve under
+// uniform traffic.
+func PredictTableZeroLoadLatencyNs(t *routes.Table, payloadBytes int, p Params) float64 {
+	var sum float64
+	var n int
+	for s := range t.Alts {
+		for d := range t.Alts[s] {
+			if s == d {
+				continue
+			}
+			sum += PredictZeroLoadLatencyNs(t.Alts[s][d][0], payloadBytes, p)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// TestPredictMatchesSimulation pins the cycle-level simulator to the
+// analytic model across every paper topology and routing scheme: a single
+// packet on an idle network must arrive within a few cycles of the
+// prediction, including routes that traverse in-transit hosts.
+func TestPredictMatchesSimulation(t *testing.T) {
+	type tc struct {
+		name string
+		net  *topology.Network
+	}
+	var cases []tc
+	add := func(name string, n *topology.Network, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tc{name, n})
+	}
+	n1, e1 := topology.NewTorus(8, 8, 1, 16)
+	add("torus", n1, e1)
+	n2, e2 := topology.NewExpressTorus(8, 8, 1, 16)
+	add("express", n2, e2)
+	n3, e3 := topology.NewCplant(1, 16)
+	add("cplant", n3, e3)
+	n4, e4 := topology.NewFatTree(2, 3, 16)
+	add("fattree", n4, e4)
+
+	const payload = 512
+	p := DefaultParams()
+	for _, c := range cases {
+		for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR} {
+			tab, err := routes.Build(c.net, routes.DefaultConfig(sch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Probe several pairs, including an ITB pair when one exists.
+			pairs := [][2]int{{0, c.net.NumHosts() - 1}, {1, c.net.NumHosts() / 2}}
+			for s := 0; s < c.net.Switches && len(pairs) < 3; s++ {
+				if len(c.net.HostsAt(s)) == 0 {
+					continue
+				}
+				for d := 0; d < c.net.Switches && len(pairs) < 3; d++ {
+					if len(c.net.HostsAt(d)) == 0 {
+						continue
+					}
+					alts := tab.Alternatives(s, d)
+					if len(alts) > 0 && alts[0].NumITBs() > 0 {
+						pairs = append(pairs, [2]int{c.net.HostsAt(s)[0], c.net.HostsAt(d)[0]})
+					}
+				}
+			}
+			for _, pair := range pairs {
+				if pair[0] == pair[1] {
+					continue
+				}
+				sim := newQuiet(t, c.net, tab.Clone())
+				pkt, latCycles := injectOne(t, sim, pair[0], pair[1])
+				want := PredictZeroLoadLatencyNs(pkt.route, payload, p)
+				got := float64(latCycles) * p.CycleNs
+				if math.Abs(got-want) > 6*p.CycleNs {
+					t.Errorf("%s/%v %d->%d: simulated %.1f ns, predicted %.1f ns (route %d hops, %d ITBs)",
+						c.name, sch, pair[0], pair[1], got, want, pkt.route.Hops, pkt.route.NumITBs())
+				}
+			}
+		}
+	}
+}
+
+func TestPredictTableAverage(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	ud, err := routes.Build(net, routes.DefaultConfig(routes.UpDown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := routes.Build(net, routes.DefaultConfig(routes.ITBSP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgUD := PredictTableZeroLoadLatencyNs(ud, 512, p)
+	avgSP := PredictTableZeroLoadLatencyNs(sp, 512, p)
+	// 512 bytes serialize in 3200 ns; everything else adds on top.
+	if avgUD < 3200 || avgSP < 3200 {
+		t.Errorf("averages below serialization bound: UD=%.0f SP=%.0f", avgUD, avgSP)
+	}
+	// On a 4x4 torus UP/DOWN and minimal routing have nearly equal
+	// distances; predictions must agree within a couple of hops.
+	if math.Abs(avgUD-avgSP) > 2*float64(p.RoutingCycles+p.LinkFlightCycles)*p.CycleNs {
+		t.Errorf("UD %.0f and SP %.0f diverge more than two hops", avgUD, avgSP)
+	}
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"testing"
+
+	"itbsim/internal/routes"
+)
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.UpDown)
+	cfg := baseConfig(net, tab)
+	cfg.Load = 0.05 // enough contention to spread the distribution
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.LatencyP50Ns <= res.LatencyP95Ns && res.LatencyP95Ns <= res.LatencyP99Ns) {
+		t.Errorf("percentiles out of order: p50=%.0f p95=%.0f p99=%.0f",
+			res.LatencyP50Ns, res.LatencyP95Ns, res.LatencyP99Ns)
+	}
+	if res.LatencyP99Ns > res.MaxLatencyNs {
+		t.Errorf("p99 %.0f above max %.0f", res.LatencyP99Ns, res.MaxLatencyNs)
+	}
+	if res.LatencyP50Ns > res.AvgLatencyNs*2 || res.LatencyP50Ns <= 0 {
+		t.Errorf("median %.0f implausible against mean %.0f", res.LatencyP50Ns, res.AvgLatencyNs)
+	}
+}
+
+func TestNotifyFiresPerMeasuredDelivery(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.ITBRR)
+	cfg := baseConfig(net, tab)
+	cfg.WarmupMessages = 20
+	cfg.MeasureMessages = 100
+	var count int
+	var itbSum int
+	cfg.Notify = func(d Delivery) {
+		count++
+		itbSum += d.ITBVisits
+		if d.LatencyNs <= 0 || d.SrcHost == d.DstHost || d.Route == nil || d.Cycle <= 0 {
+			t.Errorf("bad delivery %+v", d)
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(count) != res.DeliveredMeasured {
+		t.Errorf("notify fired %d times for %d measured deliveries", count, res.DeliveredMeasured)
+	}
+	if itbSum == 0 {
+		t.Error("no ITB visits observed under ITB-RR on a torus")
+	}
+}
+
+func TestEnqueueAndRunUntilDrained(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.UpDown)
+	cfg := baseConfig(net, tab)
+	cfg.Load = 0 // no internal generation
+	var got []int64
+	cfg.Notify = func(d Delivery) { got = append(got, d.PacketID) }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for i := 0; i < 10; i++ {
+		id, err := s.Enqueue(i, i+10, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	res, err := s.RunUntilDrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredMeasured != 10 {
+		t.Fatalf("delivered %d of 10", res.DeliveredMeasured)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("notified %d of %d", len(got), len(want))
+	}
+	seen := map[int64]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Errorf("packet %d never delivered", id)
+		}
+	}
+	// Drained network: a second drain is a no-op.
+	res2, err := s.RunUntilDrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles {
+		t.Error("idle drain advanced time")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	net := makeNet(t, 2, 2, 1)
+	tab := makeTable(t, net, routes.UpDown)
+	cfg := baseConfig(net, tab)
+	cfg.Load = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(0, 0, 10); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := s.Enqueue(-1, 1, 10); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := s.Enqueue(0, 99, 10); err == nil {
+		t.Error("bad destination accepted")
+	}
+	if _, err := s.Enqueue(0, 1, 0); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestZeroLoadRunsWithoutGeneration(t *testing.T) {
+	net := makeNet(t, 2, 2, 1)
+	tab := makeTable(t, net, routes.UpDown)
+	cfg := baseConfig(net, tab)
+	cfg.Load = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		s.step()
+	}
+	if s.generatedTotal != 0 {
+		t.Errorf("zero-load simulator generated %d messages", s.generatedTotal)
+	}
+}

@@ -1,0 +1,502 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// DestFn chooses a destination host for a message generated at src. It must
+// return a valid host different from src. Implementations live in
+// internal/traffic.
+type DestFn func(src int, rng *rand.Rand) int
+
+// Config describes one simulation run.
+type Config struct {
+	Net   *topology.Network
+	Table *routes.Table
+	Dest  DestFn
+
+	// Load is the target injection rate in flits/ns/switch, the unit the
+	// paper reports accepted traffic in.
+	Load float64
+	// MessageBytes is the payload size (the paper evaluates 32, 512, and
+	// 1024 bytes and reports 512-byte results).
+	MessageBytes int
+
+	Seed int64
+
+	// WarmupMessages deliveries are discarded before measurement starts;
+	// the run then measures until MeasureMessages further messages
+	// generated inside the window have been delivered, or MaxCycles.
+	WarmupMessages  int
+	MeasureMessages int
+	MaxCycles       int64
+
+	// CollectLinkUtil enables per-channel utilization accounting
+	// (figures 8, 9, and 11).
+	CollectLinkUtil bool
+
+	// Notify, when non-nil, is called synchronously for every message
+	// delivered inside the measurement window. Adaptive path-selection
+	// policies use it as their congestion feedback channel.
+	Notify func(Delivery)
+
+	// Tracer, when non-nil, receives packet life-cycle events (generate,
+	// inject, per-switch route, ITB eject/reinject, deliver).
+	Tracer Tracer
+
+	Params Params
+}
+
+// Delivery describes one delivered message, as passed to Config.Notify.
+type Delivery struct {
+	PacketID         int64
+	SrcHost, DstHost int
+	Route            *routes.Route
+	LatencyNs        float64
+	ITBVisits        int
+	// Cycle is the simulation cycle the last flit arrived.
+	Cycle int64
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	// AvgLatencyNs is the mean message latency: generation at the source
+	// host to delivery of the last flit (the paper's latency metric
+	// includes the source queue).
+	AvgLatencyNs float64
+	// AvgNetLatencyNs measures from first-flit injection instead.
+	AvgNetLatencyNs float64
+	// Accepted is the delivered payload traffic in flits/ns/switch.
+	Accepted float64
+	// Injected is the generated payload traffic in flits/ns/switch over
+	// the measurement window; Accepted < Injected signals saturation.
+	Injected float64
+
+	DeliveredMeasured int64
+	AvgITBsPerMessage float64
+	MaxLatencyNs      float64
+
+	// Latency percentiles over the measured messages.
+	LatencyP50Ns, LatencyP95Ns, LatencyP99Ns float64
+
+	// LinkBusy[c] is the fraction of measurement cycles each directed
+	// switch-to-switch channel spent transmitting (nil unless
+	// CollectLinkUtil).
+	LinkBusy []float64
+	// LinkStopped[c] is the fraction of measurement cycles each directed
+	// switch-to-switch channel sat idle due to stop & go flow control
+	// while a packet wanted to advance (§4.7.1 reports 20% of links idle
+	// more than 10% of the time at the ITB-RR saturation point). Nil
+	// unless CollectLinkUtil.
+	LinkStopped []float64
+
+	PoolPeakBytes int
+	PoolOverflows int64
+
+	Cycles    int64
+	Truncated bool // MaxCycles hit before MeasureMessages were delivered
+}
+
+// ErrDeadlock is returned when no flit moves for Params.WatchdogCycles
+// while packets are outstanding. The routing schemes under test are
+// deadlock-free; this firing indicates a model bug or a deliberately broken
+// route set.
+var ErrDeadlock = errors.New("netsim: no progress; network deadlocked")
+
+// Sim is the assembled simulator. Build one with New, run with Run; a Sim
+// is single-use and single-threaded (run independent Sims in parallel for
+// sweeps).
+type Sim struct {
+	cfg Config
+	p   Params
+	net *topology.Network
+
+	now      int64
+	progress int64 // bumped on every flit movement and delivery
+
+	links    []link
+	inPorts  []inPort
+	outPorts []outPort
+	switches []swtch
+	nics     []nic
+
+	outPortOfLink []int
+
+	numChannels int
+	numHosts    int
+
+	genIntervalCycles float64
+
+	// Run-state counters.
+	nextPktID      int64
+	generatedTotal int64
+	deliveredTotal int64
+	outstanding    int64
+
+	measuring    bool
+	measureStart int64
+
+	measLatSum    float64
+	measNetLatSum float64
+	measMax       float64
+	measITBSum    int64
+	measCount     int64
+	measLatencies []float64
+
+	windowDeliveredFlits int64
+	windowInjectedFlits  int64
+}
+
+// New assembles a simulator.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Net == nil || cfg.Table == nil || cfg.Dest == nil {
+		return nil, fmt.Errorf("netsim: Net, Table and Dest are required")
+	}
+	if cfg.Table.Net != cfg.Net {
+		return nil, fmt.Errorf("netsim: routing table was built for a different network")
+	}
+	if cfg.Load < 0 {
+		return nil, fmt.Errorf("netsim: Load must be >= 0, got %g", cfg.Load)
+	}
+	if cfg.MessageBytes < 1 {
+		return nil, fmt.Errorf("netsim: MessageBytes must be >= 1")
+	}
+	if cfg.MeasureMessages < 1 {
+		return nil, fmt.Errorf("netsim: MeasureMessages must be >= 1")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 50_000_000
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net}
+	s.numChannels = cfg.Net.NumChannels()
+	s.numHosts = cfg.Net.NumHosts()
+
+	// Injection interval per host, in cycles: Load [flits/ns/switch] *
+	// switches / hosts flits/ns per host; one message every
+	// MessageBytes / that many ns. Load 0 disables internal generation
+	// entirely (traffic is then injected through Enqueue).
+	if cfg.Load > 0 {
+		perHostFlitsPerNs := cfg.Load * float64(cfg.Net.Switches) / float64(s.numHosts)
+		s.genIntervalCycles = float64(cfg.MessageBytes) / perHostFlitsPerNs / s.p.CycleNs
+	} else {
+		s.genIntervalCycles = math.Inf(1)
+	}
+
+	s.build()
+	return s, nil
+}
+
+// Link ID layout: [0, C) directed switch-to-switch channels (topology
+// channel IDs), [C, C+H) host up-links, [C+H, C+2H) host down-links.
+func (s *Sim) hostUpLink(h int) int   { return s.numChannels + h }
+func (s *Sim) hostDownLink(h int) int { return s.numChannels + s.numHosts + h }
+
+func (s *Sim) build() {
+	net := s.net
+	C, H := s.numChannels, s.numHosts
+	total := C + 2*H
+	s.links = make([]link, total)
+	s.outPortOfLink = make([]int, total)
+	for i := range s.outPortOfLink {
+		s.outPortOfLink[i] = -1
+	}
+	s.switches = make([]swtch, net.Switches)
+	for i := range s.switches {
+		s.switches[i].id = i
+	}
+
+	addIn := func(sw, l int) {
+		idx := len(s.inPorts)
+		local := len(s.switches[sw].ins)
+		if local >= 32 {
+			panic("netsim: more than 32 input ports on one switch (request mask too small)")
+		}
+		s.inPorts = append(s.inPorts, inPort{sw: sw, link: l, localIdx: local, conn: -1, pendingOut: -1})
+		s.links[l].recvPort = idx
+		s.links[l].recvNIC = -1
+		s.switches[sw].ins = append(s.switches[sw].ins, idx)
+	}
+	addOut := func(sw, l int) {
+		idx := len(s.outPorts)
+		s.outPorts = append(s.outPorts, outPort{sw: sw, link: l})
+		s.outPortOfLink[l] = idx
+		s.switches[sw].outs = append(s.switches[sw].outs, idx)
+	}
+
+	for c := 0; c < C; c++ {
+		s.links[c].id = c
+		from, to := net.ChannelEnds(c)
+		addOut(from, c)
+		addIn(to, c)
+	}
+	s.nics = make([]nic, H)
+	for h := 0; h < H; h++ {
+		sw := net.SwitchOf(h)
+		up, down := s.hostUpLink(h), s.hostDownLink(h)
+		s.links[up].id = up
+		s.links[down].id = down
+		addIn(sw, up)    // NIC -> switch terminates at a switch input
+		addOut(sw, down) // switch -> NIC originates at a switch output
+		s.links[down].recvPort = -1
+		s.links[down].recvNIC = h
+		n := &s.nics[h]
+		n.host = h
+		n.upLink = up
+		n.rng = rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(h)*7919 + 1))
+		n.nextGen = n.rng.Float64() * s.genIntervalCycles
+	}
+}
+
+// generate creates one message at the given NIC, routes it, and queues it
+// for injection.
+func (s *Sim) generate(n *nic) {
+	dst := s.cfg.Dest(n.host, n.rng)
+	if dst < 0 || dst >= s.numHosts || dst == n.host {
+		panic(fmt.Sprintf("netsim: Dest returned invalid destination %d for source %d", dst, n.host))
+	}
+	r := s.cfg.Table.Route(n.host, dst)
+	p := &packet{
+		id:       s.nextPktID,
+		srcHost:  n.host,
+		dstHost:  dst,
+		route:    r,
+		payload:  s.cfg.MessageBytes,
+		genCycle: s.now,
+		measured: s.measuring,
+	}
+	p.wireFlits = s.cfg.MessageBytes + headerFlits(r)
+	s.nextPktID++
+	s.generatedTotal++
+	s.outstanding++
+	if s.measuring {
+		s.windowInjectedFlits += int64(p.payload)
+	}
+	if s.cfg.Tracer != nil {
+		s.trace(Event{Kind: EvGenerate, Packet: p.id, Host: n.host})
+	}
+	n.sendQ = append(n.sendQ, p)
+}
+
+// deliver records the arrival of a complete message at its destination.
+func (s *Sim) deliver(p *packet) {
+	s.deliveredTotal++
+	s.outstanding--
+	s.progress++
+	if s.cfg.Tracer != nil {
+		s.trace(Event{Kind: EvDeliver, Packet: p.id, Host: p.dstHost})
+	}
+	if s.measuring {
+		s.windowDeliveredFlits += int64(p.payload)
+	}
+	if !p.measured {
+		return
+	}
+	lat := float64(s.now-p.genCycle) * s.p.CycleNs
+	net := float64(s.now-p.injectCycle) * s.p.CycleNs
+	s.measLatSum += lat
+	s.measNetLatSum += net
+	if lat > s.measMax {
+		s.measMax = lat
+	}
+	s.measITBSum += int64(p.itbVisits)
+	s.measCount++
+	s.measLatencies = append(s.measLatencies, lat)
+	if s.cfg.Notify != nil {
+		s.cfg.Notify(Delivery{
+			PacketID:  p.id,
+			SrcHost:   p.srcHost,
+			DstHost:   p.dstHost,
+			Route:     p.route,
+			LatencyNs: lat,
+			ITBVisits: p.itbVisits,
+			Cycle:     s.now,
+		})
+	}
+}
+
+// step advances the simulation by one cycle.
+func (s *Sim) step() {
+	// 1. Links deliver arrived flits and control signals.
+	for i := range s.links {
+		l := &s.links[i]
+		if !l.idle() {
+			l.deliver(s)
+		}
+	}
+	// 2. Switch routing control units.
+	for i := range s.switches {
+		s.switches[i].tickRouting(s)
+	}
+	// 3. NIC bookkeeping: DMA timers, generation, next injection.
+	for i := range s.nics {
+		s.nics[i].tick(s)
+	}
+	// 4. Transfers: established connections and NIC injections push one
+	// flit each onto their links.
+	for i := range s.switches {
+		s.switches[i].tickTransfer(s)
+	}
+	for i := range s.nics {
+		s.nics[i].tickTransfer(s)
+	}
+	s.now++
+}
+
+// Now returns the current simulation cycle.
+func (s *Sim) Now() int64 { return s.now }
+
+// Enqueue hand-places one message at a source NIC, bypassing the internal
+// generation process. It is the injection path for host-level layers built
+// on top of the simulator (see internal/gm) and returns the packet ID,
+// which re-appears in the Delivery passed to Notify. Call before or between
+// Run/RunUntilDrained steps of a simulator whose Load is 0.
+func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
+	if src < 0 || src >= s.numHosts || dst < 0 || dst >= s.numHosts {
+		return 0, fmt.Errorf("netsim: host out of range: %d -> %d", src, dst)
+	}
+	if src == dst {
+		return 0, fmt.Errorf("netsim: cannot send from host %d to itself", src)
+	}
+	if payloadBytes < 1 {
+		return 0, fmt.Errorf("netsim: payload must be >= 1 byte")
+	}
+	r := s.cfg.Table.Route(src, dst)
+	p := &packet{
+		id:       s.nextPktID,
+		srcHost:  src,
+		dstHost:  dst,
+		route:    r,
+		payload:  payloadBytes,
+		genCycle: s.now,
+		measured: true,
+	}
+	p.wireFlits = payloadBytes + headerFlits(r)
+	s.nextPktID++
+	s.generatedTotal++
+	s.outstanding++
+	if s.cfg.Tracer != nil {
+		s.trace(Event{Kind: EvGenerate, Packet: p.id, Host: src})
+	}
+	n := &s.nics[src]
+	n.sendQ = append(n.sendQ, p)
+	return p.id, nil
+}
+
+// RunUntilDrained steps the simulation until every outstanding packet has
+// been delivered (or MaxCycles / the deadlock watchdog fires). Use with
+// Enqueue-driven traffic.
+func (s *Sim) RunUntilDrained() (*Result, error) {
+	s.measuring = true
+	lastProgress := int64(-1)
+	lastProgressAt := int64(0)
+	truncated := false
+	for s.outstanding > 0 {
+		if s.now >= s.cfg.MaxCycles {
+			truncated = true
+			break
+		}
+		if s.progress != lastProgress {
+			lastProgress = s.progress
+			lastProgressAt = s.now
+		} else if s.now-lastProgressAt > s.p.WatchdogCycles {
+			return nil, fmt.Errorf("%w: %d packets outstanding at cycle %d", ErrDeadlock, s.outstanding, s.now)
+		}
+		s.step()
+	}
+	return s.finalize(truncated), nil
+}
+
+// Run executes the configured experiment and reports the measurements.
+func (s *Sim) Run() (*Result, error) {
+	lastProgress := int64(-1)
+	lastProgressAt := int64(0)
+	truncated := false
+
+	for {
+		if !s.measuring && s.deliveredTotal >= int64(s.cfg.WarmupMessages) {
+			s.measuring = true
+			s.measureStart = s.now
+		}
+		if s.measuring && s.measCount >= int64(s.cfg.MeasureMessages) {
+			break
+		}
+		if s.now >= s.cfg.MaxCycles {
+			truncated = true
+			break
+		}
+		if s.progress != lastProgress {
+			lastProgress = s.progress
+			lastProgressAt = s.now
+		} else if s.outstanding > 0 && s.now-lastProgressAt > s.p.WatchdogCycles {
+			return nil, fmt.Errorf("%w: %d packets outstanding at cycle %d", ErrDeadlock, s.outstanding, s.now)
+		}
+		s.step()
+	}
+	return s.finalize(truncated), nil
+}
+
+func (s *Sim) finalize(truncated bool) *Result {
+	res := &Result{
+		DeliveredMeasured: s.measCount,
+		Cycles:            s.now,
+		Truncated:         truncated,
+	}
+	if s.measCount > 0 {
+		res.AvgLatencyNs = s.measLatSum / float64(s.measCount)
+		res.AvgNetLatencyNs = s.measNetLatSum / float64(s.measCount)
+		res.AvgITBsPerMessage = float64(s.measITBSum) / float64(s.measCount)
+		res.MaxLatencyNs = s.measMax
+		sort.Float64s(s.measLatencies)
+		pct := func(q float64) float64 {
+			i := int(q * float64(len(s.measLatencies)-1))
+			return s.measLatencies[i]
+		}
+		res.LatencyP50Ns = pct(0.50)
+		res.LatencyP95Ns = pct(0.95)
+		res.LatencyP99Ns = pct(0.99)
+	}
+	windowCycles := s.now - s.measureStart
+	if s.measuring && windowCycles > 0 {
+		ns := float64(windowCycles) * s.p.CycleNs
+		res.Accepted = float64(s.windowDeliveredFlits) / ns / float64(s.net.Switches)
+		res.Injected = float64(s.windowInjectedFlits) / ns / float64(s.net.Switches)
+		if s.cfg.CollectLinkUtil {
+			res.LinkBusy = make([]float64, s.numChannels)
+			res.LinkStopped = make([]float64, s.numChannels)
+			for c := 0; c < s.numChannels; c++ {
+				res.LinkBusy[c] = float64(s.links[c].busy) / float64(windowCycles)
+				res.LinkStopped[c] = float64(s.links[c].idleStopped) / float64(windowCycles)
+			}
+		}
+	}
+	for i := range s.nics {
+		if s.nics[i].poolPeak > res.PoolPeakBytes {
+			res.PoolPeakBytes = s.nics[i].poolPeak
+		}
+		res.PoolOverflows += s.nics[i].overflows
+	}
+	return res
+}
+
+// Run is a convenience wrapper: New followed by Run.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import "fmt"
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvGenerate: a message was created at its source host.
+	EvGenerate EventKind = iota
+	// EvInject: the first flit of a packet entered the source NIC's link.
+	EvInject
+	// EvRoute: a switch routing unit granted the packet an output and
+	// stripped its route byte. Switch is the granting switch, Link the
+	// outgoing link.
+	EvRoute
+	// EvEject: an in-transit host started receiving the packet.
+	EvEject
+	// EvReinject: an in-transit host started re-injecting the packet.
+	EvReinject
+	// EvDeliver: the last flit arrived at the final destination.
+	EvDeliver
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvGenerate:
+		return "generate"
+	case EvInject:
+		return "inject"
+	case EvRoute:
+		return "route"
+	case EvEject:
+		return "eject"
+	case EvReinject:
+		return "reinject"
+	case EvDeliver:
+		return "deliver"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one packet life-cycle event.
+type Event struct {
+	Cycle  int64
+	Kind   EventKind
+	Packet int64
+	// Host is set for generate/inject/eject/reinject/deliver; Switch and
+	// Link for route.
+	Host   int
+	Switch int
+	Link   int
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvRoute:
+		return fmt.Sprintf("%8d %-8s pkt %-5d sw %d -> link %d", e.Cycle, e.Kind, e.Packet, e.Switch, e.Link)
+	default:
+		return fmt.Sprintf("%8d %-8s pkt %-5d host %d", e.Cycle, e.Kind, e.Packet, e.Host)
+	}
+}
+
+// Tracer observes packet life-cycle events. Tracing is off (zero cost
+// beyond a nil check) unless Config.Tracer is set.
+type Tracer interface {
+	Trace(Event)
+}
+
+// RingTracer keeps the most recent events in a fixed-size ring.
+type RingTracer struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRingTracer allocates a tracer holding the last n events.
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]Event, 0, n)}
+}
+
+// Trace implements Tracer.
+func (r *RingTracer) Trace(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many events were traced overall.
+func (r *RingTracer) Total() int64 { return r.total }
+
+// Events returns the retained events in arrival order.
+func (r *RingTracer) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// CountTracer counts events by kind.
+type CountTracer struct {
+	Counts [6]int64
+}
+
+// Trace implements Tracer.
+func (c *CountTracer) Trace(e Event) { c.Counts[e.Kind]++ }
+
+func (s *Sim) trace(e Event) {
+	e.Cycle = s.now
+	s.cfg.Tracer.Trace(e)
+}

@@ -1,0 +1,107 @@
+package routes
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"itbsim/internal/topology"
+)
+
+// Serialized route-table format. Myrinet NICs hold their routing tables in
+// card memory, filled by the MCP; this is the library's on-disk equivalent,
+// so tables computed once (e.g. by cmd/routegen) can be reloaded without
+// recomputation.
+
+type tableJSON struct {
+	Scheme   string      `json:"scheme"`
+	Switches int         `json:"switches"`
+	Routes   []routeJSON `json:"routes"`
+}
+
+type routeJSON struct {
+	Src  int       `json:"src"`
+	Dst  int       `json:"dst"`
+	Segs []segJSON `json:"segs"`
+}
+
+type segJSON struct {
+	Channels []int `json:"channels"`
+	ITBHost  int   `json:"itb_host"`
+}
+
+// Encode writes the table as JSON.
+func Encode(w io.Writer, t *Table) error {
+	j := tableJSON{Scheme: t.Scheme.String(), Switches: t.Net.Switches}
+	for s := range t.Alts {
+		for d := range t.Alts[s] {
+			for _, r := range t.Alts[s][d] {
+				rj := routeJSON{Src: s, Dst: d}
+				for _, seg := range r.Segs {
+					ch := seg.Channels
+					if ch == nil {
+						ch = []int{}
+					}
+					rj.Segs = append(rj.Segs, segJSON{Channels: ch, ITBHost: seg.ITBHost})
+				}
+				j.Routes = append(j.Routes, rj)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(j)
+}
+
+// Decode reads a table written by Encode, rebinds it to the given network,
+// and validates every route against the wiring. The network must be the
+// one the table was computed for (or an identical reconstruction).
+func Decode(r io.Reader, net *topology.Network) (*Table, error) {
+	var j tableJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("routes: decode: %w", err)
+	}
+	if j.Switches != net.Switches {
+		return nil, fmt.Errorf("routes: table is for %d switches, network has %d", j.Switches, net.Switches)
+	}
+	scheme, err := ParseScheme(j.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Net: net, Scheme: scheme}
+	t.Alts = make([][][]*Route, net.Switches)
+	for s := range t.Alts {
+		t.Alts[s] = make([][]*Route, net.Switches)
+	}
+	for _, rj := range j.Routes {
+		if rj.Src < 0 || rj.Src >= net.Switches || rj.Dst < 0 || rj.Dst >= net.Switches {
+			return nil, fmt.Errorf("routes: route %d->%d out of range", rj.Src, rj.Dst)
+		}
+		route := &Route{SrcSwitch: rj.Src, DstSwitch: rj.Dst}
+		for _, sj := range rj.Segs {
+			route.Segs = append(route.Segs, Seg{Channels: sj.Channels, ITBHost: sj.ITBHost})
+			route.Hops += len(sj.Channels)
+		}
+		if len(route.Segs) == 0 {
+			return nil, fmt.Errorf("routes: route %d->%d has no segments", rj.Src, rj.Dst)
+		}
+		route.AltIndex = len(t.Alts[rj.Src][rj.Dst])
+		t.Alts[rj.Src][rj.Dst] = append(t.Alts[rj.Src][rj.Dst], route)
+	}
+	for s := range t.Alts {
+		for d := range t.Alts[s] {
+			if len(t.Alts[s][d]) == 0 {
+				return nil, fmt.Errorf("routes: missing routes for pair %d->%d", s, d)
+			}
+		}
+	}
+	if scheme == ITBRR || scheme == UpDownMin {
+		t.rr = make([][]uint32, net.NumHosts())
+		for h := range t.rr {
+			t.rr[h] = make([]uint32, net.Switches)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,147 @@
+package routes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"itbsim/internal/topology"
+)
+
+func TestTableEncodeDecodeRoundTrip(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []Scheme{UpDown, ITBSP, ITBRR} {
+		orig, err := Build(net, DefaultConfig(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf, net)
+		if err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		if got.Scheme != sch {
+			t.Errorf("scheme = %v, want %v", got.Scheme, sch)
+		}
+		so, sg := orig.ComputeStats(), got.ComputeStats()
+		if so != sg {
+			t.Errorf("%v: stats changed over round trip:\n%+v\n%+v", sch, so, sg)
+		}
+		for s := range orig.Alts {
+			for d := range orig.Alts[s] {
+				if len(orig.Alts[s][d]) != len(got.Alts[s][d]) {
+					t.Fatalf("%v: alternative count changed for %d->%d", sch, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTableDecodeRejectsWrongNetwork(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(UpDown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	// Different switch count.
+	other, err := topology.NewTorus(4, 2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("table accepted for a network with a different switch count")
+	}
+	// Same shape, different wiring: validation must catch bad channels.
+	mesh, err := topology.NewMesh(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes()), mesh); err == nil {
+		t.Error("torus table accepted on a mesh")
+	}
+}
+
+func TestTableDecodeCorruptInput(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"not json",
+		`{"scheme":"warp","switches":4,"routes":[]}`,
+		`{"scheme":"UP/DOWN","switches":4,"routes":[]}`, // missing pairs
+		`{"scheme":"UP/DOWN","switches":4,"routes":[{"src":9,"dst":0,"segs":[{"channels":[],"itb_host":-1}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c), net); err == nil {
+			t.Errorf("case %d: corrupt table accepted", i)
+		}
+	}
+}
+
+func TestTopologyEncodeDecodeRoundTrip(t *testing.T) {
+	orig, err := topology.NewCplant(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := topology.Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := topology.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != orig.String() {
+		t.Errorf("round trip changed the network: %v vs %v", got, orig)
+	}
+	// Wiring identical, not merely isomorphic.
+	for i, l := range orig.Links {
+		if got.Links[i] != l {
+			t.Fatalf("link %d changed: %+v vs %+v", i, got.Links[i], l)
+		}
+	}
+	for i, h := range orig.Hosts {
+		if got.Hosts[i] != h {
+			t.Fatalf("host %d changed", i)
+		}
+	}
+	// A table built on the original validates against the decoded copy.
+	tab, err := Build(orig, DefaultConfig(ITBRR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbuf bytes.Buffer
+	if err := Encode(&tbuf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&tbuf, got); err != nil {
+		t.Errorf("table does not validate on decoded network: %v", err)
+	}
+}
+
+func TestTopologyDecodeCorrupt(t *testing.T) {
+	if _, err := topology.Decode(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Port conflict must be caught by revalidation.
+	bad := `{"name":"x","switches":2,"switch_ports":4,
+		"links":[{"ID":0,"A":{"Switch":0,"Port":0},"B":{"Switch":1,"Port":0}}],
+		"hosts":[{"Host":0,"Switch":0,"Port":0}]}`
+	if _, err := topology.Decode(strings.NewReader(bad)); err == nil {
+		t.Error("port conflict accepted")
+	}
+}

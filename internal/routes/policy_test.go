@@ -1,0 +1,190 @@
+package routes
+
+import (
+	"testing"
+
+	"itbsim/internal/topology"
+)
+
+func multiAltPair(t *testing.T, tab *Table) (srcHost, dstHost int, alts []*Route) {
+	t.Helper()
+	net := tab.Net
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			if a := tab.Alternatives(s, d); len(a) >= 3 {
+				return net.HostsAt(s)[0], net.HostsAt(d)[0], a
+			}
+		}
+	}
+	t.Fatal("no pair with >= 3 alternatives")
+	return 0, 0, nil
+}
+
+func rrTable(t *testing.T) *Table {
+	t.Helper()
+	net, err := topology.NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(ITBRR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestAltIndexAssigned(t *testing.T) {
+	tab := rrTable(t)
+	for s := range tab.Alts {
+		for d := range tab.Alts[s] {
+			for i, r := range tab.Alts[s][d] {
+				if r.AltIndex != i {
+					t.Fatalf("route %d->%d alt %d has AltIndex %d", s, d, i, r.AltIndex)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomSelector(t *testing.T) {
+	tab := rrTable(t).SetSelector(NewRandomSelector(7))
+	src, dst, alts := multiAltPair(t, tab)
+	seen := map[*Route]bool{}
+	for i := 0; i < 200; i++ {
+		r := tab.Route(src, dst)
+		seen[r] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("random selector visited %d of %d alternatives", len(seen), len(alts))
+	}
+	// Determinism across clones.
+	c1, c2 := tab.Clone(), tab.Clone()
+	for i := 0; i < 20; i++ {
+		if c1.Route(src, dst) != c2.Route(src, dst) {
+			t.Fatal("cloned random selectors diverge")
+		}
+	}
+}
+
+func TestFewestITBSelector(t *testing.T) {
+	tab := rrTable(t).SetSelector(NewFewestITBSelector())
+	src, dst, alts := multiAltPair(t, tab)
+	min := alts[0].NumITBs()
+	for _, a := range alts {
+		if a.NumITBs() < min {
+			min = a.NumITBs()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := tab.Route(src, dst); got.NumITBs() != min {
+			t.Fatalf("fewest-ITB picked %d ITBs, min is %d", got.NumITBs(), min)
+		}
+	}
+}
+
+func TestAdaptiveSelectorShiftsAway(t *testing.T) {
+	tab := rrTable(t).SetSelector(NewAdaptiveSelector(DefaultAdaptiveConfig()))
+	src, dst, alts := multiAltPair(t, tab)
+
+	// Exploration: the first len(alts) picks must all differ.
+	seen := map[*Route]bool{}
+	picks := make([]*Route, 0, len(alts))
+	for i := 0; i < len(alts); i++ {
+		r := tab.Route(src, dst)
+		seen[r] = true
+		picks = append(picks, r)
+		// Feed back: alternative 0 is slow, everything else fast.
+		lat := 1000.0
+		if r.AltIndex == 0 {
+			lat = 50000.0
+		}
+		tab.Observe(src, r, lat)
+	}
+	if len(seen) != len(alts) {
+		t.Fatalf("exploration visited %d of %d alternatives", len(seen), len(alts))
+	}
+
+	// Exploitation: alternative 0 must no longer be chosen.
+	for i := 0; i < 20; i++ {
+		r := tab.Route(src, dst)
+		if r.AltIndex == 0 {
+			t.Fatal("adaptive selector kept using the congested alternative")
+		}
+		tab.Observe(src, r, 1000)
+	}
+
+	// Recovery: if the fast alternatives degrade, traffic returns to 0.
+	for i := 0; i < 200; i++ {
+		r := tab.Route(src, dst)
+		lat := 90000.0
+		if r.AltIndex == 0 {
+			lat = 100.0
+		}
+		tab.Observe(src, r, lat)
+	}
+	r := tab.Route(src, dst)
+	if r.AltIndex != 0 {
+		t.Fatal("adaptive selector never recovered the previously congested alternative")
+	}
+}
+
+func TestAdaptiveObserveBeforeSelect(t *testing.T) {
+	// Observe on a never-selected pair must not panic and must grow state.
+	tab := rrTable(t).SetSelector(NewAdaptiveSelector(DefaultAdaptiveConfig()))
+	src, dst, alts := multiAltPair(t, tab)
+	tab.Observe(src, alts[len(alts)-1], 500)
+	if got := tab.Route(src, dst); got == nil {
+		t.Fatal("nil route after early observe")
+	}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	// Out-of-range alpha falls back to the default rather than dividing
+	// by zero or freezing the EWMA.
+	s := NewAdaptiveSelector(AdaptiveConfig{Alpha: -3})
+	tab := rrTable(t).SetSelector(s)
+	src, dst, _ := multiAltPair(t, tab)
+	r := tab.Route(src, dst)
+	tab.Observe(src, r, 100)
+	tab.Observe(src, r, 200)
+	if tab.Route(src, dst) == nil {
+		t.Fatal("selector unusable after bad config")
+	}
+}
+
+func TestSelectorCloneIndependence(t *testing.T) {
+	tab := rrTable(t).SetSelector(NewAdaptiveSelector(DefaultAdaptiveConfig()))
+	src, dst, alts := multiAltPair(t, tab)
+	clone := tab.Clone()
+	// Poison the original's estimates; the clone must be unaffected.
+	for i := 0; i < len(alts)*3; i++ {
+		r := tab.Route(src, dst)
+		tab.Observe(src, r, 1e9)
+	}
+	seen := map[*Route]bool{}
+	for i := 0; i < len(alts); i++ {
+		seen[clone.Route(src, dst)] = true
+	}
+	if len(seen) != len(alts) {
+		t.Error("clone inherited the original's observations")
+	}
+}
+
+func TestSelectorOnSingleAltScheme(t *testing.T) {
+	// A selector on an ITB-SP table is harmless: single alternatives
+	// bypass it.
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(ITBSP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetSelector(NewRandomSelector(1))
+	r1 := tab.Route(0, 15)
+	r2 := tab.Route(0, 15)
+	if r1 != r2 {
+		t.Error("single-alternative pair returned different routes")
+	}
+}

@@ -1,0 +1,395 @@
+// Package routes builds the per-NIC source routing tables the simulator
+// consumes. A route is an ordered list of directed channels, optionally
+// broken into segments at in-transit hosts (the ITB mark of §3). Tables
+// support the three schemes the paper evaluates: the original Myrinet
+// up*/down* routing (UP/DOWN), and in-transit-buffer minimal routing with
+// single-path (ITB-SP) or round-robin (ITB-RR) path selection.
+package routes
+
+import (
+	"fmt"
+
+	"itbsim/internal/itbroute"
+	"itbsim/internal/topology"
+	"itbsim/internal/updown"
+)
+
+// Scheme selects the routing algorithm.
+type Scheme int
+
+const (
+	// UpDown is the original Myrinet routing: one balanced up*/down* path
+	// per pair, as computed by the simple_routes emulation.
+	UpDown Scheme = iota
+	// ITBSP is minimal routing with in-transit buffers, single path: the
+	// same minimal path (the one needing fewest ITBs) is always used.
+	ITBSP
+	// ITBRR is minimal routing with in-transit buffers, selecting among
+	// all the alternative minimal paths in a round-robin fashion.
+	ITBRR
+	// UpDownMin uses all the shortest legal up*/down* paths for each pair
+	// (up to the table limit), round-robin, with no in-transit buffers.
+	// §4.5 reports that simple_routes beats this scheme; the
+	// corresponding ablation benchmark verifies that claim.
+	UpDownMin
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case UpDown:
+		return "UP/DOWN"
+	case ITBSP:
+		return "ITB-SP"
+	case ITBRR:
+		return "ITB-RR"
+	case UpDownMin:
+		return "UD-MIN"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme converts a command-line name to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "updown", "ud", "up/down", "UP/DOWN":
+		return UpDown, nil
+	case "itb-sp", "itbsp", "sp", "ITB-SP":
+		return ITBSP, nil
+	case "itb-rr", "itbrr", "rr", "ITB-RR":
+		return ITBRR, nil
+	case "ud-min", "udmin", "UD-MIN":
+		return UpDownMin, nil
+	}
+	return 0, fmt.Errorf("routes: unknown scheme %q (want updown, itb-sp, itb-rr, or ud-min)", s)
+}
+
+// Seg is one up*/down*-legal piece of a route. The packet traverses
+// Channels in order; if ITBHost >= 0 it is then ejected into that host's
+// interface card and re-injected to continue with the next segment. The
+// final segment has ITBHost == -1: the packet is delivered to the actual
+// destination host.
+type Seg struct {
+	Channels []int
+	ITBHost  int
+}
+
+// Route is a switch-to-switch source route shared by every host pair on the
+// same pair of switches.
+type Route struct {
+	SrcSwitch, DstSwitch int
+	Segs                 []Seg
+	Hops                 int // total switch-to-switch links traversed
+	AltIndex             int // position among the pair's alternatives
+}
+
+// NumITBs returns the number of in-transit hosts the route visits.
+func (r *Route) NumITBs() int { return len(r.Segs) - 1 }
+
+// Config controls table construction.
+type Config struct {
+	Scheme Scheme
+	// Root is the up*/down* spanning tree root switch.
+	Root int
+	// MaxAlternatives caps the alternative minimal routes kept per pair
+	// (§4.5 imposes 10 to bound table look-up delay).
+	MaxAlternatives int
+	// Balanced tunes the simple_routes emulation used for UP/DOWN.
+	Balanced updown.BalancedConfig
+}
+
+// DefaultConfig returns the paper's configuration for the given scheme.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		Scheme:          s,
+		Root:            0,
+		MaxAlternatives: 10,
+		Balanced:        updown.DefaultBalancedConfig(),
+	}
+}
+
+// Table holds every route alternative for every ordered switch pair, plus
+// the per-source-host round-robin counters for ITB-RR.
+type Table struct {
+	Net    *topology.Network
+	Scheme Scheme
+	// Alts[src][dst] lists the route alternatives for the switch pair.
+	// UP/DOWN and ITB-SP keep exactly one.
+	Alts [][][]*Route
+
+	rr  [][]uint32 // rr[srcHost][dstSwitch]: round-robin cursor
+	sel Selector   // optional policy override, see SetSelector
+}
+
+// Build computes the routing table for a network under the given config.
+func Build(net *topology.Network, cfg Config) (*Table, error) {
+	if cfg.MaxAlternatives <= 0 {
+		cfg.MaxAlternatives = 10
+	}
+	a, err := updown.NewAssignment(net, cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Net: net, Scheme: cfg.Scheme}
+	n := net.Switches
+	t.Alts = make([][][]*Route, n)
+	for s := range t.Alts {
+		t.Alts[s] = make([][]*Route, n)
+	}
+
+	switch cfg.Scheme {
+	case UpDown:
+		paths := a.BalancedRoutes(cfg.Balanced)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				r, err := routeFromSplit(net, itbroute.Split{Path: paths[s][d]})
+				if err != nil {
+					return nil, err
+				}
+				t.Alts[s][d] = []*Route{r}
+			}
+		}
+	case UpDownMin:
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				paths := a.ShortestLegalPaths(s, d, cfg.MaxAlternatives)
+				if len(paths) == 0 {
+					return nil, fmt.Errorf("routes: no legal path %d -> %d", s, d)
+				}
+				alts := make([]*Route, 0, len(paths))
+				for i, p := range paths {
+					r, err := routeFromSplit(net, itbroute.Split{Path: p})
+					if err != nil {
+						return nil, err
+					}
+					r.AltIndex = i
+					alts = append(alts, r)
+				}
+				t.Alts[s][d] = alts
+			}
+		}
+	case ITBSP, ITBRR:
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					r, err := routeFromSplit(net, itbroute.Split{Path: []int{s}})
+					if err != nil {
+						return nil, err
+					}
+					t.Alts[s][d] = []*Route{r}
+					continue
+				}
+				splits, err := itbroute.MinimalSplits(a, s, d, cfg.MaxAlternatives)
+				if err != nil {
+					return nil, err
+				}
+				if cfg.Scheme == ITBSP {
+					splits = []itbroute.Split{itbroute.BestSplit(splits)}
+				}
+				alts := make([]*Route, 0, len(splits))
+				for i, sp := range splits {
+					r, err := routeFromSplitWithHosts(net, sp, s*31+d*17+i)
+					if err != nil {
+						return nil, err
+					}
+					r.AltIndex = i
+					alts = append(alts, r)
+				}
+				t.Alts[s][d] = alts
+			}
+		}
+	default:
+		return nil, fmt.Errorf("routes: unknown scheme %v", cfg.Scheme)
+	}
+
+	if cfg.Scheme == ITBRR || cfg.Scheme == UpDownMin {
+		t.rr = make([][]uint32, net.NumHosts())
+		for h := range t.rr {
+			t.rr[h] = make([]uint32, n)
+		}
+	}
+	return t, nil
+}
+
+// routeFromSplit converts a split with no ITB hosts assigned (single
+// segment) to a Route.
+func routeFromSplit(net *topology.Network, sp itbroute.Split) (*Route, error) {
+	return routeFromSplitWithHosts(net, sp, 0)
+}
+
+// routeFromSplitWithHosts converts a split to a Route, choosing an
+// in-transit host at every break switch. The salt rotates the host choice
+// across alternatives so the 8 NICs of a break switch share the re-injection
+// load.
+func routeFromSplitWithHosts(net *topology.Network, sp itbroute.Split, salt int) (*Route, error) {
+	segs := sp.Segments()
+	r := &Route{
+		SrcSwitch: sp.Path[0],
+		DstSwitch: sp.Path[len(sp.Path)-1],
+		Segs:      make([]Seg, 0, len(segs)),
+		Hops:      len(sp.Path) - 1,
+	}
+	for i, seg := range segs {
+		chans := updown.ChannelSeq(net, seg)
+		itb := -1
+		if i+1 < len(segs) {
+			breakSw := seg[len(seg)-1]
+			hosts := net.HostsAt(breakSw)
+			if len(hosts) == 0 {
+				return nil, fmt.Errorf("routes: break switch %d has no hosts", breakSw)
+			}
+			idx := (salt + i) % len(hosts)
+			if idx < 0 {
+				idx += len(hosts)
+			}
+			itb = hosts[idx]
+		}
+		r.Segs = append(r.Segs, Seg{Channels: chans, ITBHost: itb})
+	}
+	return r, nil
+}
+
+// Route returns the route a packet from srcHost to dstHost should follow,
+// honouring the table's path selection policy. For ITB-RR the per-source
+// round-robin cursor advances on every call, exactly as a NIC cycling
+// through its table entries would.
+func (t *Table) Route(srcHost, dstHost int) *Route {
+	s := t.Net.SwitchOf(srcHost)
+	d := t.Net.SwitchOf(dstHost)
+	alts := t.Alts[s][d]
+	if len(alts) == 1 {
+		return alts[0]
+	}
+	if t.sel != nil {
+		return t.sel.Select(srcHost, d, alts)
+	}
+	if t.rr == nil {
+		return alts[0]
+	}
+	i := t.rr[srcHost][d] % uint32(len(alts))
+	t.rr[srcHost][d]++
+	return alts[i]
+}
+
+// Alternatives returns the route alternatives for a switch pair (read-only).
+func (t *Table) Alternatives(srcSwitch, dstSwitch int) []*Route {
+	return t.Alts[srcSwitch][dstSwitch]
+}
+
+// Clone returns a table sharing the (immutable) route alternatives but with
+// fresh round-robin state. Tables are not safe for concurrent use because
+// Route advances the RR cursors; clone one per goroutine when running
+// simulations in parallel.
+func (t *Table) Clone() *Table {
+	c := &Table{Net: t.Net, Scheme: t.Scheme, Alts: t.Alts}
+	if t.rr != nil {
+		c.rr = make([][]uint32, len(t.rr))
+		for h := range c.rr {
+			c.rr[h] = make([]uint32, len(t.rr[h]))
+		}
+	}
+	if t.sel != nil {
+		c.sel = t.sel.Clone()
+	}
+	return c
+}
+
+// Stats summarises static properties of a routing table, matching the
+// figures quoted in §4.7.1 of the paper.
+type Stats struct {
+	Scheme          Scheme
+	Pairs           int     // ordered switch pairs (src != dst)
+	AvgDistance     float64 // mean hops over pairs and alternatives
+	AvgITBs         float64 // mean in-transit hosts per route
+	MinimalFraction float64 // fraction of routes that are minimal in the raw graph
+	MaxAlternatives int
+}
+
+// ComputeStats scans the table.
+func (t *Table) ComputeStats() Stats {
+	st := Stats{Scheme: t.Scheme}
+	raw := t.Net.AllDistances()
+	for s := range t.Alts {
+		for d := range t.Alts[s] {
+			if s == d {
+				continue
+			}
+			st.Pairs++
+			alts := t.Alts[s][d]
+			if len(alts) > st.MaxAlternatives {
+				st.MaxAlternatives = len(alts)
+			}
+			var hops, itbs, minimal float64
+			for _, r := range alts {
+				hops += float64(r.Hops)
+				itbs += float64(r.NumITBs())
+				if r.Hops == raw[s][d] {
+					minimal++
+				}
+			}
+			k := float64(len(alts))
+			st.AvgDistance += hops / k
+			st.AvgITBs += itbs / k
+			st.MinimalFraction += minimal / k
+		}
+	}
+	if st.Pairs > 0 {
+		st.AvgDistance /= float64(st.Pairs)
+		st.AvgITBs /= float64(st.Pairs)
+		st.MinimalFraction /= float64(st.Pairs)
+	}
+	return st
+}
+
+// Validate checks structural invariants of every route in the table:
+// segments chain through the network, channels are adjacent, ITB hosts sit
+// on the segment's final switch. The simulator trusts validated tables.
+func (t *Table) Validate() error {
+	for s := range t.Alts {
+		for d := range t.Alts[s] {
+			for _, r := range t.Alts[s][d] {
+				if err := t.validateRoute(s, d, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Table) validateRoute(s, d int, r *Route) error {
+	if r.SrcSwitch != s || r.DstSwitch != d {
+		return fmt.Errorf("routes: route filed under %d->%d claims %d->%d", s, d, r.SrcSwitch, r.DstSwitch)
+	}
+	cur := s
+	hops := 0
+	for i, seg := range r.Segs {
+		for _, c := range seg.Channels {
+			from, to := t.Net.ChannelEnds(c)
+			if from != cur {
+				return fmt.Errorf("routes: %d->%d: channel %d starts at %d, expected %d", s, d, c, from, cur)
+			}
+			cur = to
+			hops++
+		}
+		last := i == len(r.Segs)-1
+		if last {
+			if seg.ITBHost != -1 {
+				return fmt.Errorf("routes: %d->%d: final segment has ITB host %d", s, d, seg.ITBHost)
+			}
+		} else {
+			if seg.ITBHost < 0 || seg.ITBHost >= t.Net.NumHosts() {
+				return fmt.Errorf("routes: %d->%d: segment %d ITB host %d out of range", s, d, i, seg.ITBHost)
+			}
+			if t.Net.SwitchOf(seg.ITBHost) != cur {
+				return fmt.Errorf("routes: %d->%d: ITB host %d not attached to switch %d", s, d, seg.ITBHost, cur)
+			}
+		}
+	}
+	if cur != d {
+		return fmt.Errorf("routes: %d->%d: route ends at %d", s, d, cur)
+	}
+	if hops != r.Hops {
+		return fmt.Errorf("routes: %d->%d: Hops=%d but route has %d", s, d, r.Hops, hops)
+	}
+	return nil
+}

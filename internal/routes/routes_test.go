@@ -1,0 +1,267 @@
+package routes
+
+import (
+	"testing"
+
+	"itbsim/internal/topology"
+	"itbsim/internal/updown"
+)
+
+func buildTable(t *testing.T, net *topology.Network, s Scheme) *Table {
+	t.Helper()
+	tab, err := Build(net, DefaultConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func smallTorus(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scheme
+	}{{"updown", UpDown}, {"itb-sp", ITBSP}, {"rr", ITBRR}, {"ITB-RR", ITBRR}} {
+		got, err := ParseScheme(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseScheme(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if UpDown.String() != "UP/DOWN" || ITBSP.String() != "ITB-SP" || ITBRR.String() != "ITB-RR" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestBuildAllSchemesValidate(t *testing.T) {
+	net := smallTorus(t)
+	for _, s := range []Scheme{UpDown, ITBSP, ITBRR} {
+		tab := buildTable(t, net, s)
+		if tab.Scheme != s {
+			t.Errorf("table scheme = %v, want %v", tab.Scheme, s)
+		}
+	}
+}
+
+func TestUpDownSingleAlternative(t *testing.T) {
+	net := smallTorus(t)
+	tab := buildTable(t, net, UpDown)
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			alts := tab.Alternatives(s, d)
+			if len(alts) != 1 {
+				t.Fatalf("UP/DOWN %d->%d has %d alternatives", s, d, len(alts))
+			}
+			if alts[0].NumITBs() != 0 {
+				t.Fatalf("UP/DOWN route uses ITBs")
+			}
+		}
+	}
+}
+
+func TestITBRoutesAreMinimal(t *testing.T) {
+	net := smallTorus(t)
+	raw := net.AllDistances()
+	for _, s := range []Scheme{ITBSP, ITBRR} {
+		tab := buildTable(t, net, s)
+		for a := 0; a < net.Switches; a++ {
+			for b := 0; b < net.Switches; b++ {
+				for _, r := range tab.Alternatives(a, b) {
+					if r.Hops != raw[a][b] {
+						t.Fatalf("%v route %d->%d has %d hops, minimal %d", s, a, b, r.Hops, raw[a][b])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestITBRRAlternativesCapped(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildTable(t, net, ITBRR)
+	maxAlts := 0
+	multi := 0
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			n := len(tab.Alternatives(s, d))
+			if n > maxAlts {
+				maxAlts = n
+			}
+			if n > 1 {
+				multi++
+			}
+		}
+	}
+	if maxAlts > 10 {
+		t.Errorf("alternatives exceed the paper's table limit of 10: %d", maxAlts)
+	}
+	if maxAlts < 2 || multi == 0 {
+		t.Errorf("expected multiple alternatives somewhere, max = %d", maxAlts)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildTable(t, net, ITBRR)
+	// Find a host pair with >1 alternatives.
+	var src, dst int
+	found := false
+	for s := 0; s < net.Switches && !found; s++ {
+		for d := 0; d < net.Switches && !found; d++ {
+			if len(tab.Alternatives(s, d)) > 1 {
+				src, dst = net.HostsAt(s)[0], net.HostsAt(d)[0]
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no multi-alternative pair")
+	}
+	n := len(tab.Alternatives(net.SwitchOf(src), net.SwitchOf(dst)))
+	first := tab.Route(src, dst)
+	seen := map[*Route]bool{first: true}
+	for i := 1; i < n; i++ {
+		seen[tab.Route(src, dst)] = true
+	}
+	if len(seen) != n {
+		t.Errorf("round robin visited %d of %d alternatives", len(seen), n)
+	}
+	if got := tab.Route(src, dst); got != first {
+		t.Errorf("round robin did not wrap to the first alternative")
+	}
+}
+
+func TestSPStableRoute(t *testing.T) {
+	net := smallTorus(t)
+	tab := buildTable(t, net, ITBSP)
+	h0, h1 := 0, net.NumHosts()-1
+	r := tab.Route(h0, h1)
+	for i := 0; i < 5; i++ {
+		if tab.Route(h0, h1) != r {
+			t.Fatal("ITB-SP route changed between calls")
+		}
+	}
+}
+
+func TestStatsMatchPaper(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud := buildTable(t, net, UpDown).ComputeStats()
+	sp := buildTable(t, net, ITBSP).ComputeStats()
+	rr := buildTable(t, net, ITBRR).ComputeStats()
+
+	// Paper §4.7.1 for the 8x8 torus: UP/DOWN avg distance 4.57 (but
+	// simple_routes may trade length for balance, so allow slack), ITB avg
+	// distance 4.06, ITB always minimal, UP/DOWN ~80% minimal.
+	if sp.AvgDistance < 4.0 || sp.AvgDistance > 4.12 {
+		t.Errorf("ITB-SP avg distance = %.3f, paper reports 4.06", sp.AvgDistance)
+	}
+	if rr.MinimalFraction != 1 || sp.MinimalFraction != 1 {
+		t.Errorf("ITB routes must all be minimal: SP=%.2f RR=%.2f", sp.MinimalFraction, rr.MinimalFraction)
+	}
+	if ud.AvgDistance < sp.AvgDistance {
+		t.Errorf("UP/DOWN avg distance %.3f below minimal %.3f", ud.AvgDistance, sp.AvgDistance)
+	}
+	if ud.MinimalFraction < 0.5 || ud.MinimalFraction > 0.95 {
+		t.Errorf("UP/DOWN minimal fraction = %.3f, paper reports ~0.80", ud.MinimalFraction)
+	}
+	if rr.AvgITBs < sp.AvgITBs {
+		t.Errorf("RR avg ITBs %.3f < SP %.3f", rr.AvgITBs, sp.AvgITBs)
+	}
+	t.Logf("UP/DOWN: dist=%.2f minimal=%.0f%%; ITB-SP: dist=%.2f itbs=%.2f; ITB-RR: dist=%.2f itbs=%.2f",
+		ud.AvgDistance, 100*ud.MinimalFraction, sp.AvgDistance, sp.AvgITBs, rr.AvgDistance, rr.AvgITBs)
+}
+
+func TestITBHostsOnBreakSwitch(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildTable(t, net, ITBRR)
+	// Validate() already checks this, but exercise the accessor contract
+	// explicitly: every non-final segment names a host on its last switch.
+	countITB := 0
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			for _, r := range tab.Alternatives(s, d) {
+				cur := s
+				for i, seg := range r.Segs {
+					for _, c := range seg.Channels {
+						_, cur = net.ChannelEnds(c)
+					}
+					if i < len(r.Segs)-1 {
+						countITB++
+						if net.SwitchOf(seg.ITBHost) != cur {
+							t.Fatalf("ITB host %d not on switch %d", seg.ITBHost, cur)
+						}
+					}
+				}
+			}
+		}
+	}
+	if countITB == 0 {
+		t.Fatal("no ITB segments found in an 8x8 torus table")
+	}
+}
+
+func TestDeadlockFreedomOfTableCDG(t *testing.T) {
+	// End-to-end deadlock check over the exact routes the simulator will
+	// use: the CDG of all segments (split at ITB hosts) must be acyclic
+	// for every scheme.
+	net := smallTorus(t)
+	for _, s := range []Scheme{UpDown, ITBSP, ITBRR} {
+		tab := buildTable(t, net, s)
+		g := updown.NewDependencyGraph(net)
+		for a := 0; a < net.Switches; a++ {
+			for b := 0; b < net.Switches; b++ {
+				for _, r := range tab.Alternatives(a, b) {
+					for _, seg := range r.Segs {
+						g.AddRoute(seg.Channels)
+					}
+				}
+			}
+		}
+		if !g.Acyclic() {
+			t.Errorf("%v: cyclic channel dependency graph", s)
+		}
+	}
+}
+
+func TestBuildCplantAllSchemes(t *testing.T) {
+	net, err := topology.NewCplant(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{UpDown, ITBSP, ITBRR} {
+		tab := buildTable(t, net, s)
+		st := tab.ComputeStats()
+		if s != UpDown && st.MinimalFraction != 1 {
+			t.Errorf("%v on cplant: minimal fraction %.3f", s, st.MinimalFraction)
+		}
+		t.Logf("cplant %v: dist=%.2f itbs=%.2f minimal=%.0f%%", s, st.AvgDistance, st.AvgITBs, 100*st.MinimalFraction)
+	}
+}

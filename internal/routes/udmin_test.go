@@ -1,0 +1,138 @@
+package routes
+
+import (
+	"bytes"
+	"testing"
+
+	"itbsim/internal/topology"
+	"itbsim/internal/updown"
+)
+
+func TestUpDownMinRoutesLegalAndShortestLegal(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(UpDownMin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := updown.NewAssignment(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < net.Switches; s++ {
+		legal := a.LegalDistances(s)
+		for d := 0; d < net.Switches; d++ {
+			alts := tab.Alternatives(s, d)
+			if len(alts) == 0 || len(alts) > 10 {
+				t.Fatalf("%d->%d has %d alternatives", s, d, len(alts))
+			}
+			for _, r := range alts {
+				if r.NumITBs() != 0 {
+					t.Fatalf("UD-MIN route uses ITBs")
+				}
+				if s != d && r.Hops != legal[d] {
+					t.Fatalf("%d->%d route has %d hops, shortest legal %d", s, d, r.Hops, legal[d])
+				}
+			}
+		}
+	}
+}
+
+func TestUpDownMinRoundRobins(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(UpDownMin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a multi-alternative pair and verify rotation.
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			alts := tab.Alternatives(s, d)
+			if len(alts) < 2 {
+				continue
+			}
+			src, dst := net.HostsAt(s)[0], net.HostsAt(d)[0]
+			if tab.Route(src, dst) == tab.Route(src, dst) {
+				t.Fatal("UD-MIN did not rotate alternatives")
+			}
+			return
+		}
+	}
+	t.Fatal("no multi-alternative pair in an 8x8 torus")
+}
+
+func TestUpDownMinDeadlockFree(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(UpDownMin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := updown.NewDependencyGraph(net)
+	for s := range tab.Alts {
+		for d := range tab.Alts[s] {
+			for _, r := range tab.Alts[s][d] {
+				for _, seg := range r.Segs {
+					g.AddRoute(seg.Channels)
+				}
+			}
+		}
+	}
+	if !g.Acyclic() {
+		t.Fatal("UD-MIN produced a cyclic channel dependency graph")
+	}
+}
+
+func TestUpDownMinEncodeDecode(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(net, DefaultConfig(UpDownMin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != UpDownMin {
+		t.Errorf("scheme = %v", got.Scheme)
+	}
+	// RR state must exist so Route rotates after decode.
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			if len(got.Alternatives(s, d)) >= 2 {
+				src, dst := net.HostsAt(s)[0], net.HostsAt(d)[0]
+				if got.Route(src, dst) == got.Route(src, dst) {
+					t.Fatal("decoded UD-MIN table does not rotate")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestParseSchemeUDMin(t *testing.T) {
+	got, err := ParseScheme("ud-min")
+	if err != nil || got != UpDownMin {
+		t.Errorf("ParseScheme(ud-min) = %v, %v", got, err)
+	}
+	if UpDownMin.String() != "UD-MIN" {
+		t.Error("UD-MIN name wrong")
+	}
+}

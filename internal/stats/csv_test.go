@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"itbsim/internal/netsim"
+)
+
+func TestWriteCSV(t *testing.T) {
+	curves := []Curve{
+		{Label: "UP/DOWN", Points: []SweepPoint{
+			{Load: 0.01, Result: &netsim.Result{Accepted: 0.0099, Injected: 0.01, AvgLatencyNs: 4000, LatencyP50Ns: 3900, LatencyP95Ns: 4500, LatencyP99Ns: 5000}},
+			{Load: 0.02, Result: nil}, // skipped
+		}},
+		{Label: "ITB-RR", Points: []SweepPoint{
+			{Load: 0.01, Result: &netsim.Result{Accepted: 0.0098, Injected: 0.01, AvgLatencyNs: 4100, AvgITBsPerMessage: 0.5}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 data rows
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "label" || len(recs[0]) != 9 {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][0] != "UP/DOWN" || recs[2][0] != "ITB-RR" {
+		t.Errorf("labels = %v %v", recs[1][0], recs[2][0])
+	}
+	if recs[2][8] != "0.500" {
+		t.Errorf("avg_itbs = %q", recs[2][8])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("empty export should contain only the header, got %d rows", len(recs))
+	}
+}

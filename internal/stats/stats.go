@@ -1,0 +1,234 @@
+// Package stats provides the measurement aggregation used by the experiment
+// harness: summary statistics, latency-vs-accepted-traffic sweeps with
+// saturation detection, and link-utilization reports in the form the
+// paper's figures 8, 9, and 11 discuss (how loaded the links near the
+// up*/down* root are versus the rest of the network).
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/topology"
+)
+
+// Summary is basic descriptive statistics of a sample.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, Std float64
+}
+
+// Summarize computes summary statistics. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(sq / float64(s.N-1))
+	}
+	return s
+}
+
+// SweepPoint is one load point of a latency-vs-traffic sweep.
+type SweepPoint struct {
+	Load   float64 // requested injection rate, flits/ns/switch
+	Result *netsim.Result
+}
+
+// Curve is an ascending-load sweep of one routing scheme.
+type Curve struct {
+	Label  string
+	Points []SweepPoint
+}
+
+// SaturationThroughput returns the highest accepted traffic observed along
+// the curve — the paper's "throughput achieved" for its tables. Beyond
+// saturation accepted traffic plateaus (or dips), so the maximum is the
+// saturation point.
+func (c Curve) SaturationThroughput() float64 {
+	max := 0.0
+	for _, p := range c.Points {
+		if p.Result != nil && p.Result.Accepted > max {
+			max = p.Result.Accepted
+		}
+	}
+	return max
+}
+
+// Saturated reports whether the curve reached saturation: some point
+// accepted meaningfully less than it injected.
+func (c Curve) Saturated() bool {
+	for _, p := range c.Points {
+		if p.Result != nil && p.Result.Accepted < 0.95*p.Result.Injected {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders the curve as "accepted latency" rows, the series of the
+// paper's latency/traffic figures.
+func (c Curve) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: accepted(flits/ns/switch) latency(ns)\n", c.Label)
+	for _, p := range c.Points {
+		if p.Result == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%.5f %.0f\n", p.Result.Accepted, p.Result.AvgLatencyNs)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the curves as one CSV table: label, offered load, accepted
+// traffic, latency columns — the raw data behind the figures, ready for
+// external plotting tools.
+func WriteCSV(w io.Writer, curves []Curve) error {
+	cw := csv.NewWriter(w)
+	header := []string{"label", "load", "accepted_flits_ns_switch", "injected_flits_ns_switch",
+		"avg_latency_ns", "p50_ns", "p95_ns", "p99_ns", "avg_itbs"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if p.Result == nil {
+				continue
+			}
+			rec := []string{
+				c.Label,
+				fmt.Sprintf("%g", p.Load),
+				fmt.Sprintf("%.6f", p.Result.Accepted),
+				fmt.Sprintf("%.6f", p.Result.Injected),
+				fmt.Sprintf("%.1f", p.Result.AvgLatencyNs),
+				fmt.Sprintf("%.1f", p.Result.LatencyP50Ns),
+				fmt.Sprintf("%.1f", p.Result.LatencyP95Ns),
+				fmt.Sprintf("%.1f", p.Result.LatencyP99Ns),
+				fmt.Sprintf("%.3f", p.Result.AvgITBsPerMessage),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LinkUtilReport summarises per-channel utilization the way the paper reads
+// its utilization figures: the share of lightly loaded links, the hottest
+// links and where they sit relative to the up*/down* root.
+type LinkUtilReport struct {
+	Summary       Summary
+	FracBelow10   float64 // fraction of channels under 10% utilization
+	FracAbove30   float64
+	Top           []LinkUtil // hottest channels, descending
+	TopNearRootIn int        // how many of Top are within one hop of the root
+}
+
+// LinkUtil is one directed channel's utilization.
+type LinkUtil struct {
+	Channel  int
+	From, To int
+	Util     float64
+}
+
+// AnalyzeLinkUtil builds a report from a simulator's per-channel busy
+// fractions. root is the up*/down* root switch used to classify the hottest
+// links; topN bounds the hot-link list.
+func AnalyzeLinkUtil(net *topology.Network, busy []float64, root, topN int) LinkUtilReport {
+	r := LinkUtilReport{Summary: Summarize(busy)}
+	if len(busy) == 0 {
+		return r
+	}
+	below10, above30 := 0, 0
+	utils := make([]LinkUtil, len(busy))
+	for c, u := range busy {
+		from, to := net.ChannelEnds(c)
+		utils[c] = LinkUtil{Channel: c, From: from, To: to, Util: u}
+		if u < 0.10 {
+			below10++
+		}
+		if u > 0.30 {
+			above30++
+		}
+	}
+	r.FracBelow10 = float64(below10) / float64(len(busy))
+	r.FracAbove30 = float64(above30) / float64(len(busy))
+	sort.Slice(utils, func(i, j int) bool {
+		if utils[i].Util != utils[j].Util {
+			return utils[i].Util > utils[j].Util
+		}
+		return utils[i].Channel < utils[j].Channel
+	})
+	if topN > len(utils) {
+		topN = len(utils)
+	}
+	r.Top = utils[:topN]
+	dist := net.Distances(root)
+	for _, lu := range r.Top {
+		if dist[lu.From] <= 1 || dist[lu.To] <= 1 {
+			r.TopNearRootIn++
+		}
+	}
+	return r
+}
+
+// String renders the report.
+func (r LinkUtilReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "links: mean %.1f%%, max %.1f%%, %.0f%% of links <10%%, %.0f%% >30%%\n",
+		100*r.Summary.Mean, 100*r.Summary.Max, 100*r.FracBelow10, 100*r.FracAbove30)
+	fmt.Fprintf(&b, "hottest %d links (%d adjacent to root):\n", len(r.Top), r.TopNearRootIn)
+	for _, lu := range r.Top {
+		fmt.Fprintf(&b, "  ch%-4d %2d -> %-2d  %5.1f%%\n", lu.Channel, lu.From, lu.To, 100*lu.Util)
+	}
+	return b.String()
+}
+
+// UtilGrid renders a per-switch utilization heat map for row-major grid
+// topologies (the tori): for every switch, the maximum utilization of its
+// outgoing channels, as a coarse text heat map mirroring figures 8/9/11.
+func UtilGrid(net *topology.Network, busy []float64, rows, cols int) string {
+	maxOut := make([]float64, net.Switches)
+	for c, u := range busy {
+		from, _ := net.ChannelEnds(c)
+		if u > maxOut[from] {
+			maxOut[from] = u
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%4.1f", 100*maxOut[topology.TorusID(r, c, cols)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

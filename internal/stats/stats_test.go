@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/topology"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("got %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %f, want %f", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 || one.Min != 7 || one.Max != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	check := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkCurve(acc ...[2]float64) Curve {
+	c := Curve{Label: "test"}
+	for i, a := range acc {
+		c.Points = append(c.Points, SweepPoint{
+			Load:   float64(i+1) * 0.01,
+			Result: &netsim.Result{Accepted: a[0], Injected: a[1], AvgLatencyNs: 1000 * float64(i+1)},
+		})
+	}
+	return c
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	c := mkCurve([2]float64{0.01, 0.01}, [2]float64{0.02, 0.02}, [2]float64{0.021, 0.03})
+	if got := c.SaturationThroughput(); got != 0.021 {
+		t.Errorf("saturation = %f, want 0.021", got)
+	}
+	if !c.Saturated() {
+		t.Error("curve with accepted << injected not flagged saturated")
+	}
+	flat := mkCurve([2]float64{0.01, 0.01}, [2]float64{0.02, 0.02})
+	if flat.Saturated() {
+		t.Error("unsaturated curve flagged")
+	}
+	var empty Curve
+	if empty.SaturationThroughput() != 0 || empty.Saturated() {
+		t.Error("empty curve misbehaved")
+	}
+}
+
+func TestCurveTable(t *testing.T) {
+	c := mkCurve([2]float64{0.01, 0.01})
+	out := c.Table()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "0.01000 1000") {
+		t.Errorf("table output:\n%s", out)
+	}
+}
+
+func TestAnalyzeLinkUtil(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]float64, net.NumChannels())
+	// Make channels out of switch 0 hot, everything else cold.
+	hot := 0
+	for c := range busy {
+		from, _ := net.ChannelEnds(c)
+		if from == 0 {
+			busy[c] = 0.5
+			hot++
+		} else {
+			busy[c] = 0.05
+		}
+	}
+	r := AnalyzeLinkUtil(net, busy, 0, hot)
+	if r.TopNearRootIn != hot {
+		t.Errorf("hot links near root = %d, want %d", r.TopNearRootIn, hot)
+	}
+	if r.FracBelow10 <= 0.5 {
+		t.Errorf("FracBelow10 = %f", r.FracBelow10)
+	}
+	if r.FracAbove30 <= 0 {
+		t.Errorf("FracAbove30 = %f", r.FracAbove30)
+	}
+	if r.Top[0].Util != 0.5 {
+		t.Errorf("top util = %f", r.Top[0].Util)
+	}
+	if !strings.Contains(r.String(), "hottest") {
+		t.Error("report rendering broken")
+	}
+	// topN larger than the channel count must clamp.
+	r2 := AnalyzeLinkUtil(net, busy, 0, 10_000)
+	if len(r2.Top) != net.NumChannels() {
+		t.Errorf("top list length %d", len(r2.Top))
+	}
+	// Empty input.
+	r3 := AnalyzeLinkUtil(net, nil, 0, 5)
+	if r3.Summary.N != 0 || len(r3.Top) != 0 {
+		t.Errorf("empty analysis = %+v", r3)
+	}
+}
+
+func TestUtilGrid(t *testing.T) {
+	net, err := topology.NewTorus(2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]float64, net.NumChannels())
+	for c := range busy {
+		from, _ := net.ChannelEnds(c)
+		if from == 3 {
+			busy[c] = 0.42
+		}
+	}
+	out := UtilGrid(net, busy, 2, 2)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("grid:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "42.0") {
+		t.Errorf("expected 42.0 in second row:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "0.0") {
+		t.Errorf("expected cold first cell:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package topology
+
+import "fmt"
+
+// NewCplant builds the Computational Plant (CPLANT) topology used at Sandia
+// National Laboratories, per the description in the paper (§4.1): 50 16-port
+// switches connecting 400 hosts (8 per switch).
+//
+// The paper's prose leaves some wiring details open; this generator follows
+// the interpretation below, which satisfies every quantitative statement in
+// the paper and is, as the paper itself notes, "not completely regular":
+//
+//   - 48 switches form 6 groups of 8. Within a group, switches are wired as
+//     a 3-dimensional hypercube (3 ports) plus one extra link from each
+//     switch to the farthest node in the group — its bitwise complement —
+//     (1 port), for the stated 4 intra-group ports.
+//   - Groups are connected "equivalent switch to equivalent switch": switch
+//     i of group a links to switch i of group b for every edge (a, b) of the
+//     group-level graph. The group-level graph is the incomplete hypercube
+//     on {0..5} (the 3-cube restricted to labels 0-5: edges 0-1, 0-2, 0-4,
+//     1-3, 1-5, 2-3, 4-5) plus the farthest-node connections (complement
+//     pairs that fall inside 0..5: 2-5 and 3-4), giving every group degree 3.
+//   - The remaining 2 switches form an additional group: they are linked to
+//     each other, switch 48 links to switch 0 of every group, and switch 49
+//     links to switch 7 of every group. This uses the spare 4th inter-group
+//     port of those switches and attaches the extra group's 16 hosts with
+//     full connectivity.
+func NewCplant(hostsPerSwitch, switchPorts int) (*Network, error) {
+	const (
+		groups     = 6
+		groupSize  = 8
+		regular    = groups * groupSize // 48
+		extraA     = regular            // 48
+		extraB     = regular + 1        // 49
+		totalSw    = regular + 2        // 50
+		cubeDim    = 3
+		complement = groupSize - 1 // 7, bitwise complement mask for 3 bits
+	)
+	b := NewBuilder("cplant", totalSw, switchPorts)
+
+	sw := func(g, i int) int { return g*groupSize + i }
+
+	// Intra-group: 3-cube plus farthest-node diagonal.
+	for g := 0; g < groups; g++ {
+		for i := 0; i < groupSize; i++ {
+			for d := 0; d < cubeDim; d++ {
+				j := i ^ (1 << d)
+				if i < j {
+					b.AddLink(sw(g, i), sw(g, j))
+				}
+			}
+			j := i ^ complement
+			if i < j {
+				b.AddLink(sw(g, i), sw(g, j))
+			}
+		}
+	}
+
+	// Inter-group: incomplete hypercube on 6 groups plus farthest-node
+	// connections, equivalent switch to equivalent switch.
+	groupEdges := [][2]int{
+		{0, 1}, {0, 2}, {0, 4}, {1, 3}, {1, 5}, {2, 3}, {4, 5}, // 3-cube edges within 0..5
+		{2, 5}, {3, 4}, // farthest-node (complement) pairs within 0..5
+	}
+	for _, e := range groupEdges {
+		for i := 0; i < groupSize; i++ {
+			b.AddLink(sw(e[0], i), sw(e[1], i))
+		}
+	}
+
+	// Additional group of 2 switches.
+	b.AddLink(extraA, extraB)
+	for g := 0; g < groups; g++ {
+		b.AddLink(extraA, sw(g, 0))
+		b.AddLink(extraB, sw(g, complement))
+	}
+
+	b.AddHosts(hostsPerSwitch)
+	n, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cplant: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,51 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// networkJSON is the serialized form of a Network: the minimal wiring
+// description, not the derived adjacency.
+type networkJSON struct {
+	Name        string       `json:"name"`
+	Switches    int          `json:"switches"`
+	SwitchPorts int          `json:"switch_ports"`
+	Links       []Link       `json:"links"`
+	Hosts       []HostAttach `json:"hosts"`
+}
+
+// Encode writes the network as JSON. The format captures the exact wiring
+// (switch, port) of every link and host, so Decode reproduces the network
+// identically.
+func Encode(w io.Writer, n *Network) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(networkJSON{
+		Name:        n.Name,
+		Switches:    n.Switches,
+		SwitchPorts: n.SwitchPorts,
+		Links:       n.Links,
+		Hosts:       n.Hosts,
+	})
+}
+
+// Decode reads a network written by Encode and revalidates it.
+func Decode(r io.Reader) (*Network, error) {
+	var j networkJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	n := &Network{
+		Name:        j.Name,
+		Switches:    j.Switches,
+		SwitchPorts: j.SwitchPorts,
+		Links:       j.Links,
+		Hosts:       j.Hosts,
+	}
+	if err := n.init(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,76 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NewRandomIrregular builds a connected random topology with the given
+// number of switches, aiming for the given switch-to-switch degree. It
+// mimics the irregular NOW topologies of the authors' earlier papers and is
+// used by property-based tests to exercise routing on arbitrary graphs.
+// Generation is deterministic for a given seed.
+func NewRandomIrregular(switches, degree, hostsPerSwitch, switchPorts int, seed int64) (*Network, error) {
+	if switches < 2 {
+		return nil, fmt.Errorf("topology: random irregular needs at least 2 switches, got %d", switches)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("topology: random irregular needs degree >= 1, got %d", degree)
+	}
+	if degree+hostsPerSwitch > switchPorts {
+		return nil, fmt.Errorf("topology: degree %d + hosts %d exceeds %d ports", degree, hostsPerSwitch, switchPorts)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("irregular-%d-seed%d", switches, seed), switches, switchPorts)
+
+	deg := make([]int, switches)
+	type edge struct{ a, b int }
+	used := make(map[edge]bool)
+	addEdge := func(a, bs int) {
+		if a > bs {
+			a, bs = bs, a
+		}
+		used[edge{a, bs}] = true
+		deg[a]++
+		deg[bs]++
+		b.AddLink(a, bs)
+	}
+
+	// Random spanning tree first, to guarantee connectivity.
+	perm := rng.Perm(switches)
+	for i := 1; i < switches; i++ {
+		addEdge(perm[i], perm[rng.Intn(i)])
+	}
+	// Then extra random links up to the target degree.
+	attempts := switches * degree * 10
+	for t := 0; t < attempts; t++ {
+		a := rng.Intn(switches)
+		c := rng.Intn(switches)
+		if a == c || deg[a] >= degree || deg[c] >= degree {
+			continue
+		}
+		lo, hi := a, c
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if used[edge{lo, hi}] {
+			continue
+		}
+		addEdge(a, c)
+	}
+
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}
+
+// NewFromEdges builds a network from an explicit switch-to-switch edge list,
+// attaching hostsPerSwitch hosts to every switch. It is the entry point for
+// user-supplied custom topologies.
+func NewFromEdges(name string, switches int, edges [][2]int, hostsPerSwitch, switchPorts int) (*Network, error) {
+	b := NewBuilder(name, switches, switchPorts)
+	for _, e := range edges {
+		b.AddLink(e[0], e[1])
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}

@@ -1,0 +1,343 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusPaperScale(t *testing.T) {
+	n, err := NewTorus(8, 8, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 64 {
+		t.Errorf("switches = %d, want 64", n.Switches)
+	}
+	if n.NumHosts() != 512 {
+		t.Errorf("hosts = %d, want 512", n.NumHosts())
+	}
+	// 64 switches x 4 neighbours / 2 = 128 links.
+	if len(n.Links) != 128 {
+		t.Errorf("links = %d, want 128", len(n.Links))
+	}
+	for s := 0; s < n.Switches; s++ {
+		links, hosts, free := n.PortFanout(s)
+		if links != 4 || hosts != 8 || free != 4 {
+			t.Errorf("switch %d fanout = (%d links, %d hosts, %d free), want (4, 8, 4)", s, links, hosts, free)
+		}
+	}
+}
+
+func TestTorusNeighbours(t *testing.T) {
+	n, err := NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switch 0 at (0,0) should neighbour 1, 3 (row wrap), 4, 12 (col wrap).
+	want := map[int]bool{1: true, 3: true, 4: true, 12: true}
+	for _, nb := range n.Neighbors(0) {
+		if !want[nb.Switch] {
+			t.Errorf("unexpected neighbour %d of switch 0", nb.Switch)
+		}
+		delete(want, nb.Switch)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing neighbours of switch 0: %v", want)
+	}
+}
+
+func TestTorusDistances(t *testing.T) {
+	n, err := NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Distances(0)
+	// Opposite corner of an 8x8 torus is 4+4 = 8 hops away.
+	if got := d[TorusID(4, 4, 8)]; got != 8 {
+		t.Errorf("distance to (4,4) = %d, want 8", got)
+	}
+	if got := d[TorusID(0, 7, 8)]; got != 1 {
+		t.Errorf("distance to (0,7) = %d, want 1 (wrap)", got)
+	}
+}
+
+func TestExpressTorusPaperScale(t *testing.T) {
+	n, err := NewExpressTorus(8, 8, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 64 || n.NumHosts() != 512 {
+		t.Fatalf("got %d switches, %d hosts, want 64/512", n.Switches, n.NumHosts())
+	}
+	// Twice the links of the plain torus: 256.
+	if len(n.Links) != 256 {
+		t.Errorf("links = %d, want 256", len(n.Links))
+	}
+	for s := 0; s < n.Switches; s++ {
+		links, hosts, free := n.PortFanout(s)
+		if links != 8 || hosts != 8 || free != 0 {
+			t.Errorf("switch %d fanout = (%d, %d, %d), want (8, 8, 0): all ports used", s, links, hosts, free)
+		}
+	}
+}
+
+func TestExpressTorusHalvesDistances(t *testing.T) {
+	plain, err := NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	express, err := NewExpressTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumPlain, sumExpress := 0, 0
+	dp, de := plain.Distances(0), express.Distances(0)
+	for s := 1; s < 64; s++ {
+		sumPlain += dp[s]
+		sumExpress += de[s]
+	}
+	// The paper: average distance is "almost reduced to the half".
+	// Exact ratio for an 8x8 torus with +-1 and +-2 channels is 0.625.
+	if !(float64(sumExpress) <= 0.63*float64(sumPlain)) {
+		t.Errorf("express distances sum %d not close to half of torus %d", sumExpress, sumPlain)
+	}
+}
+
+func TestExpressTorus4WideNoDuplicates(t *testing.T) {
+	n, err := NewExpressTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ a, b int }
+	seen := map[pair]int{}
+	for _, l := range n.Links {
+		a, b := l.A.Switch, l.B.Switch
+		if a > b {
+			a, b = b, a
+		}
+		seen[pair{a, b}]++
+	}
+	for p, c := range seen {
+		if c > 1 {
+			t.Errorf("duplicate link between %d and %d (%d copies)", p.a, p.b, c)
+		}
+	}
+}
+
+func TestCplantPaperScale(t *testing.T) {
+	n, err := NewCplant(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 50 {
+		t.Errorf("switches = %d, want 50", n.Switches)
+	}
+	if n.NumHosts() != 400 {
+		t.Errorf("hosts = %d, want 400", n.NumHosts())
+	}
+	// Every regular switch uses 4 intra-group ports and 3 or 4 inter-group
+	// ports; no switch may exceed 16 ports.
+	for s := 0; s < 48; s++ {
+		links, hosts, free := n.PortFanout(s)
+		if hosts != 8 {
+			t.Errorf("switch %d hosts = %d, want 8", s, hosts)
+		}
+		if links < 7 || links > 8 {
+			t.Errorf("switch %d link ports = %d, want 7 or 8", s, links)
+		}
+		if free < 0 {
+			t.Errorf("switch %d over port budget", s)
+		}
+	}
+	// Intra-group: each of the 6 groups is a 3-cube plus complement
+	// diagonals: check group 0 switch 0 reaches 1, 2, 4, 7 inside the group.
+	want := map[int]bool{1: true, 2: true, 4: true, 7: true}
+	for _, nb := range n.Neighbors(0) {
+		if nb.Switch < 8 {
+			if !want[nb.Switch] {
+				t.Errorf("unexpected intra-group neighbour %d of switch 0", nb.Switch)
+			}
+			delete(want, nb.Switch)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing intra-group neighbours of switch 0: %v", want)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	n, err := NewHypercube(3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 8 || len(n.Links) != 12 {
+		t.Fatalf("3-cube: %d switches %d links, want 8/12", n.Switches, len(n.Links))
+	}
+	d := n.Distances(0)
+	if d[7] != 3 {
+		t.Errorf("distance 0->7 = %d, want 3", d[7])
+	}
+}
+
+func TestMesh(t *testing.T) {
+	n, err := NewMesh(3, 3, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Links) != 12 {
+		t.Errorf("3x3 mesh links = %d, want 12", len(n.Links))
+	}
+	d := n.Distances(0)
+	if d[8] != 4 {
+		t.Errorf("mesh corner distance = %d, want 4 (no wrap)", d[8])
+	}
+}
+
+func TestChannelIDs(t *testing.T) {
+	n, err := NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range n.Links {
+		cab := n.Channel(l.ID, l.A.Switch)
+		cba := n.Channel(l.ID, l.B.Switch)
+		if cab != 2*l.ID || cba != 2*l.ID+1 {
+			t.Fatalf("link %d channels = %d,%d", l.ID, cab, cba)
+		}
+		from, to := n.ChannelEnds(cab)
+		if from != l.A.Switch || to != l.B.Switch {
+			t.Fatalf("channel %d ends = %d->%d, want %d->%d", cab, from, to, l.A.Switch, l.B.Switch)
+		}
+		from, to = n.ChannelEnds(cba)
+		if from != l.B.Switch || to != l.A.Switch {
+			t.Fatalf("reverse channel %d ends wrong", cba)
+		}
+	}
+}
+
+func TestPortToward(t *testing.T) {
+	n, err := NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Links[0]
+	if got := n.PortToward(l.ID, l.A.Switch); got != l.A.Port {
+		t.Errorf("PortToward(A) = %d, want %d", got, l.A.Port)
+	}
+	if got := n.PortToward(l.ID, l.B.Switch); got != l.B.Port {
+		t.Errorf("PortToward(B) = %d, want %d", got, l.B.Port)
+	}
+	if got := n.PortToward(l.ID, 99); got != -1 {
+		t.Errorf("PortToward(non-endpoint) = %d, want -1", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad", 2, 2)
+	b.AddLink(0, 0) // self link
+	if _, err := b.Build(); err == nil {
+		t.Error("self-link accepted")
+	}
+
+	b = NewBuilder("overflow", 2, 1)
+	b.AddLink(0, 1)
+	b.AddHost(0) // no port left
+	if _, err := b.Build(); err == nil {
+		t.Error("port overflow accepted")
+	}
+
+	b = NewBuilder("disconnected", 4, 4)
+	b.AddLink(0, 1)
+	b.AddLink(2, 3)
+	if _, err := b.Build(); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+
+	if _, err := NewTorus(1, 1, 1, 4); err == nil {
+		t.Error("1x1 torus accepted")
+	}
+	if _, err := NewHypercube(0, 1, 4); err == nil {
+		t.Error("0-cube accepted")
+	}
+}
+
+func TestHostAttachment(t *testing.T) {
+	n, err := NewTorus(2, 2, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumHosts() != 12 {
+		t.Fatalf("hosts = %d, want 12", n.NumHosts())
+	}
+	for h := 0; h < n.NumHosts(); h++ {
+		s := n.SwitchOf(h)
+		found := false
+		for _, hh := range n.HostsAt(s) {
+			if hh == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("host %d not listed at its switch %d", h, s)
+		}
+	}
+	// Hosts are attached round-robin by switch: hosts 0..2 at switch 0, etc.
+	for h := 0; h < 12; h++ {
+		if want := h / 3; n.SwitchOf(h) != want {
+			t.Errorf("host %d at switch %d, want %d", h, n.SwitchOf(h), want)
+		}
+	}
+}
+
+func TestRandomIrregularProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		sw := 4 + int(seed%13+13)%13 // 4..16
+		n, err := NewRandomIrregular(sw, 4, 2, 16, seed)
+		if err != nil {
+			return false
+		}
+		// Connected by construction; verify via Distances.
+		d := n.Distances(0)
+		for _, dd := range d {
+			if dd < 0 {
+				return false
+			}
+		}
+		// No duplicate or self links.
+		type pair struct{ a, b int }
+		seen := map[pair]bool{}
+		for _, l := range n.Links {
+			a, b := l.A.Switch, l.B.Switch
+			if a == b {
+				return false
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[pair{a, b}] {
+				return false
+			}
+			seen[pair{a, b}] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewFromEdges(t *testing.T) {
+	n, err := NewFromEdges("tri", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 3 || len(n.Links) != 3 || n.NumHosts() != 6 {
+		t.Errorf("got %v", n)
+	}
+	if n.LinkBetween(0, 2) < 0 {
+		t.Error("missing edge 0-2")
+	}
+	if n.LinkBetween(0, 0) >= 0 {
+		t.Error("self edge reported")
+	}
+}

@@ -1,0 +1,120 @@
+package topology
+
+import "fmt"
+
+// TorusID returns the switch ID at (row, col) of a rows×cols torus or mesh.
+// Switches are numbered row-major, matching the paper's figures (root in the
+// top-left corner).
+func TorusID(row, col, cols int) int { return row*cols + col }
+
+// NewTorus builds a rows×cols 2-D torus of switches with hostsPerSwitch
+// hosts attached to every switch. Each switch connects to its four
+// neighbours through single links (wrap-around in both dimensions). The
+// paper's configuration is NewTorus(8, 8, 8, 16): 64 16-port switches, 512
+// hosts, 4 ports left open per switch.
+func NewTorus(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("topology: torus needs at least 2x2 switches, got %dx%d", rows, cols)
+	}
+	b := NewBuilder(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols, switchPorts)
+	// Link each switch to its +1 neighbour in each dimension; the -1
+	// neighbour link is created when that neighbour is visited. A 2-wide
+	// dimension would create a duplicate (+1 and -1 are the same switch);
+	// keep the single link in that case.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := TorusID(r, c, cols)
+			if cols > 2 || c == 0 {
+				b.AddLink(s, TorusID(r, (c+1)%cols, cols))
+			}
+			if rows > 2 || r == 0 {
+				b.AddLink(s, TorusID((r+1)%rows, c, cols))
+			}
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}
+
+// NewExpressTorus builds a rows×cols 2-D torus where every switch is also
+// connected to its second-order neighbours (two hops away in each dimension)
+// through express channels, after Dally's express cubes. The paper's
+// configuration is NewExpressTorus(8, 8, 8, 16): all 16 ports of every
+// switch are used (4 ring + 4 express + 8 hosts).
+func NewExpressTorus(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("topology: express torus needs at least 2x2 switches, got %dx%d", rows, cols)
+	}
+	b := NewBuilder(fmt.Sprintf("express-torus-%dx%d", rows, cols), rows*cols, switchPorts)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := TorusID(r, c, cols)
+			if cols > 2 || c == 0 {
+				b.AddLink(s, TorusID(r, (c+1)%cols, cols))
+			}
+			if rows > 2 || r == 0 {
+				b.AddLink(s, TorusID((r+1)%rows, c, cols))
+			}
+		}
+	}
+	// Express channels to the +2 neighbour in each dimension. In a
+	// 4-wide dimension +2 and -2 coincide; add the link only from the
+	// lower-ID side to avoid duplicates. Dimensions narrower than 4 have
+	// no distinct second-order neighbour.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := TorusID(r, c, cols)
+			if cols > 4 || (cols == 4 && c < 2) {
+				b.AddLink(s, TorusID(r, (c+2)%cols, cols))
+			}
+			if rows > 4 || (rows == 4 && r < 2) {
+				b.AddLink(s, TorusID((r+2)%rows, c, cols))
+			}
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}
+
+// NewMesh builds a rows×cols 2-D mesh (no wrap-around links). Not one of
+// the paper's topologies; used by tests and as a user-facing generator.
+func NewMesh(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: mesh needs at least 2 switches, got %dx%d", rows, cols)
+	}
+	b := NewBuilder(fmt.Sprintf("mesh-%dx%d", rows, cols), rows*cols, switchPorts)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := TorusID(r, c, cols)
+			if c+1 < cols {
+				b.AddLink(s, TorusID(r, c+1, cols))
+			}
+			if r+1 < rows {
+				b.AddLink(s, TorusID(r+1, c, cols))
+			}
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}
+
+// NewHypercube builds a dim-dimensional hypercube of 2^dim switches. Not one
+// of the paper's stand-alone topologies, but CPLANT groups are 3-cubes and
+// tests exercise it directly.
+func NewHypercube(dim, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if dim < 1 || dim > 16 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range [1,16]", dim)
+	}
+	n := 1 << dim
+	b := NewBuilder(fmt.Sprintf("hypercube-%d", dim), n, switchPorts)
+	for s := 0; s < n; s++ {
+		for d := 0; d < dim; d++ {
+			t := s ^ (1 << d)
+			if s < t {
+				b.AddLink(s, t)
+			}
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}

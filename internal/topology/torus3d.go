@@ -1,0 +1,91 @@
+package topology
+
+import "fmt"
+
+// Torus3DID returns the switch ID at (x, y, z) of an X×Y×Z 3-D torus.
+func Torus3DID(x, y, z, Y, Z int) int { return (x*Y+y)*Z + z }
+
+// NewTorus3D builds an X×Y×Z 3-D torus: each switch connects to its six
+// neighbours (wrap-around in every dimension). Not one of the paper's
+// evaluation topologies, but a standard regular network built from the
+// same switches; the routing and ITB machinery apply unchanged.
+func NewTorus3D(x, y, z, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if x < 2 || y < 2 || z < 2 {
+		return nil, fmt.Errorf("topology: 3-D torus needs at least 2x2x2 switches, got %dx%dx%d", x, y, z)
+	}
+	b := NewBuilder(fmt.Sprintf("torus3d-%dx%dx%d", x, y, z), x*y*z, switchPorts)
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				s := Torus3DID(i, j, k, y, z)
+				if x > 2 || i == 0 {
+					b.AddLink(s, Torus3DID((i+1)%x, j, k, y, z))
+				}
+				if y > 2 || j == 0 {
+					b.AddLink(s, Torus3DID(i, (j+1)%y, k, y, z))
+				}
+				if z > 2 || k == 0 {
+					b.AddLink(s, Torus3DID(i, j, (k+1)%z, y, z))
+				}
+			}
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}
+
+// NewFatTree builds a k-ary n-tree (the fat-tree variant used in Myrinet
+// and cluster interconnects): n levels of k-port-down/k-port-up switches,
+// k^n hosts attached to the leaf level. Switches are numbered level-major:
+// level 0 is the leaf (host) level, level n-1 the root level. Every switch
+// uses 2k ports except the roots, which use k.
+//
+// Up*/down* routing is a natural fit for fat trees (all minimal paths are
+// legal), so the ITB mechanism yields no extra minimal paths here — a
+// useful negative control for the library.
+func NewFatTree(k, n, switchPorts int) (*Network, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: fat tree needs arity k >= 2, got %d", k)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topology: fat tree needs at least 2 levels, got %d", n)
+	}
+	if 2*k > switchPorts {
+		return nil, fmt.Errorf("topology: fat tree arity %d needs %d ports, switches have %d", k, 2*k, switchPorts)
+	}
+	// k^(n-1) switches per level, n levels.
+	perLevel := 1
+	for i := 1; i < n; i++ {
+		perLevel *= k
+	}
+	hosts := perLevel * k
+	b := NewBuilder(fmt.Sprintf("fattree-%d-ary-%d-tree", k, n), perLevel*n, switchPorts)
+
+	sw := func(level, idx int) int { return level*perLevel + idx }
+
+	// In a k-ary n-tree, switch <level l, index w_{n-2}...w_0> connects
+	// up to level l+1 switches whose index agrees with w on every digit
+	// except digit l, which takes all k values.
+	pow := func(e int) int {
+		p := 1
+		for i := 0; i < e; i++ {
+			p *= k
+		}
+		return p
+	}
+	for l := 0; l+1 < n; l++ {
+		stride := pow(l)
+		for w := 0; w < perLevel; w++ {
+			digit := (w / stride) % k
+			base := w - digit*stride
+			for v := 0; v < k; v++ {
+				b.AddLink(sw(l, w), sw(l+1, base+v*stride))
+			}
+		}
+	}
+	// Hosts attach to the leaf level, k per leaf switch.
+	for h := 0; h < hosts; h++ {
+		b.AddHost(sw(0, h/k))
+	}
+	return b.Build()
+}

@@ -1,0 +1,109 @@
+package topology
+
+import "testing"
+
+func TestTorus3D(t *testing.T) {
+	n, err := NewTorus3D(4, 4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 64 || n.NumHosts() != 128 {
+		t.Fatalf("got %d switches, %d hosts", n.Switches, n.NumHosts())
+	}
+	// 64 switches x 6 neighbours / 2 = 192 links.
+	if len(n.Links) != 192 {
+		t.Errorf("links = %d, want 192", len(n.Links))
+	}
+	for s := 0; s < n.Switches; s++ {
+		links, hosts, free := n.PortFanout(s)
+		if links != 6 || hosts != 2 || free != 8 {
+			t.Fatalf("switch %d fanout (%d,%d,%d)", s, links, hosts, free)
+		}
+	}
+	// Opposite corner is 2+2+2 = 6 hops.
+	d := n.Distances(0)
+	if got := d[Torus3DID(2, 2, 2, 4, 4)]; got != 6 {
+		t.Errorf("distance to (2,2,2) = %d, want 6", got)
+	}
+}
+
+func TestTorus3DWidth2NoDuplicates(t *testing.T) {
+	n, err := NewTorus3D(2, 2, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2x2x2 torus degenerates to a 3-cube: 12 links, no doubles.
+	if len(n.Links) != 12 {
+		t.Errorf("links = %d, want 12", len(n.Links))
+	}
+}
+
+func TestTorus3DErrors(t *testing.T) {
+	if _, err := NewTorus3D(1, 4, 4, 1, 16); err == nil {
+		t.Error("1-wide dimension accepted")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	// 2-ary 3-tree: 4 switches per level, 3 levels, 8 hosts.
+	n, err := NewFatTree(2, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != 12 || n.NumHosts() != 8 {
+		t.Fatalf("got %d switches, %d hosts, want 12/8", n.Switches, n.NumHosts())
+	}
+	// Each non-root level contributes perLevel*k = 8 up-links: 16 links.
+	if len(n.Links) != 16 {
+		t.Errorf("links = %d, want 16", len(n.Links))
+	}
+	// Leaves: k hosts + k up-links; middle: k down + k up; roots: k down.
+	for s := 0; s < 4; s++ {
+		links, hosts, _ := n.PortFanout(s)
+		if links != 2 || hosts != 2 {
+			t.Errorf("leaf %d fanout (%d links, %d hosts)", s, links, hosts)
+		}
+	}
+	for s := 4; s < 8; s++ {
+		links, hosts, _ := n.PortFanout(s)
+		if links != 4 || hosts != 0 {
+			t.Errorf("middle %d fanout (%d links, %d hosts)", s, links, hosts)
+		}
+	}
+	for s := 8; s < 12; s++ {
+		links, hosts, _ := n.PortFanout(s)
+		if links != 2 || hosts != 0 {
+			t.Errorf("root %d fanout (%d links, %d hosts)", s, links, hosts)
+		}
+	}
+	// Any two hosts on different leaves are reachable within 2*(n-1) hops.
+	d := n.Distances(0)
+	for s := 0; s < 4; s++ {
+		if d[s] > 4 {
+			t.Errorf("leaf %d is %d hops away, max is 4", s, d[s])
+		}
+	}
+}
+
+func TestFatTree4ary2tree(t *testing.T) {
+	n, err := NewFatTree(4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 switches per level, 2 levels, 16 hosts.
+	if n.Switches != 8 || n.NumHosts() != 16 || len(n.Links) != 16 {
+		t.Fatalf("got %d switches %d hosts %d links", n.Switches, n.NumHosts(), len(n.Links))
+	}
+}
+
+func TestFatTreeErrors(t *testing.T) {
+	if _, err := NewFatTree(1, 3, 16); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if _, err := NewFatTree(4, 1, 16); err == nil {
+		t.Error("single level accepted")
+	}
+	if _, err := NewFatTree(9, 2, 16); err == nil {
+		t.Error("arity exceeding ports accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package traffic implements the message destination distributions of §4.2:
+// uniform, bit-reversal, hotspot, and local. Each constructor returns a
+// netsim.DestFn closure; all randomness flows through the per-NIC RNG the
+// simulator passes in, so runs stay deterministic for a given seed.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/topology"
+)
+
+// Uniform returns the uniform distribution: the destination of a message is
+// randomly chosen with the same probability for all hosts (excluding the
+// source).
+func Uniform(numHosts int) (netsim.DestFn, error) {
+	if numHosts < 2 {
+		return nil, fmt.Errorf("traffic: uniform needs at least 2 hosts")
+	}
+	return func(src int, rng *rand.Rand) int {
+		d := rng.Intn(numHosts - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}, nil
+}
+
+// BitReversal returns the bit-reversal permutation: the destination is the
+// source host ID with its bits reversed. The host count must be a power of
+// two (the paper applies this pattern to the tori only, not to CPLANT).
+// Hosts that are bit-reversal palindromes (their reversal is themselves)
+// fall back to a uniform destination so every host keeps generating the
+// configured load.
+func BitReversal(numHosts int) (netsim.DestFn, error) {
+	if numHosts < 2 || numHosts&(numHosts-1) != 0 {
+		return nil, fmt.Errorf("traffic: bit reversal needs a power-of-2 host count, got %d", numHosts)
+	}
+	w := bits.Len(uint(numHosts)) - 1
+	rev := make([]int, numHosts)
+	for s := 0; s < numHosts; s++ {
+		rev[s] = int(bits.Reverse(uint(s)) >> (bits.UintSize - w))
+	}
+	return func(src int, rng *rand.Rand) int {
+		d := rev[src]
+		if d != src {
+			return d
+		}
+		d = rng.Intn(numHosts - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}, nil
+}
+
+// Hotspot returns the hotspot distribution: fraction (e.g. 0.05 for the
+// paper's "5% hotspot traffic") of the messages go to the given hotspot
+// host; the rest follow the uniform distribution. The hotspot host itself,
+// and the fraction of traffic that would self-address, use uniform
+// destinations.
+func Hotspot(numHosts, hotspot int, fraction float64) (netsim.DestFn, error) {
+	if numHosts < 2 {
+		return nil, fmt.Errorf("traffic: hotspot needs at least 2 hosts")
+	}
+	if hotspot < 0 || hotspot >= numHosts {
+		return nil, fmt.Errorf("traffic: hotspot host %d out of range [0,%d)", hotspot, numHosts)
+	}
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("traffic: hotspot fraction %g out of [0,1]", fraction)
+	}
+	return func(src int, rng *rand.Rand) int {
+		if src != hotspot && rng.Float64() < fraction {
+			return hotspot
+		}
+		d := rng.Intn(numHosts - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}, nil
+}
+
+// Local returns the local distribution: message destinations are at most
+// maxSwitches switches away from the source host (the paper evaluates 3,
+// and also discusses 4), randomly chosen among the eligible hosts. Hosts on
+// the source's own switch count as distance zero and are eligible.
+func Local(net *topology.Network, maxSwitches int) (netsim.DestFn, error) {
+	if maxSwitches < 0 {
+		return nil, fmt.Errorf("traffic: local radius must be >= 0")
+	}
+	// Candidate hosts per source switch.
+	candidates := make([][]int, net.Switches)
+	for s := 0; s < net.Switches; s++ {
+		d := net.Distances(s)
+		for sw, dist := range d {
+			if dist <= maxSwitches {
+				candidates[s] = append(candidates[s], net.HostsAt(sw)...)
+			}
+		}
+	}
+	for s, c := range candidates {
+		if len(c) < 2 {
+			return nil, fmt.Errorf("traffic: switch %d has %d local candidates; radius %d too small", s, len(c), maxSwitches)
+		}
+	}
+	switchOf := make([]int, net.NumHosts())
+	for h := 0; h < net.NumHosts(); h++ {
+		switchOf[h] = net.SwitchOf(h)
+	}
+	return func(src int, rng *rand.Rand) int {
+		c := candidates[switchOf[src]]
+		for {
+			d := c[rng.Intn(len(c))]
+			if d != src {
+				return d
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,228 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"itbsim/internal/topology"
+)
+
+func TestUniformCoversAllAndAvoidsSelf(t *testing.T) {
+	const n = 16
+	dest, err := Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		d := dest(3, rng)
+		if d == 3 {
+			t.Fatal("uniform returned the source")
+		}
+		if d < 0 || d >= n {
+			t.Fatalf("destination %d out of range", d)
+		}
+		counts[d]++
+	}
+	// Chi-squared-ish sanity: every other host gets about draws/(n-1).
+	want := float64(draws) / float64(n-1)
+	for h, c := range counts {
+		if h == 3 {
+			continue
+		}
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("host %d drawn %d times, want about %.0f", h, c, want)
+		}
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform(1); err == nil {
+		t.Error("Uniform(1) accepted")
+	}
+}
+
+func TestBitReversalPermutation(t *testing.T) {
+	const n = 64 // 6 bits
+	dest, err := BitReversal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Non-palindromic sources map deterministically to their reversal.
+	// 0b000001 -> 0b100000 = 32.
+	if d := dest(1, rng); d != 32 {
+		t.Errorf("rev(1) = %d, want 32", d)
+	}
+	if d := dest(3, rng); d != 48 { // 0b000011 -> 0b110000
+		t.Errorf("rev(3) = %d, want 48", d)
+	}
+	// Palindromes fall back to a uniform non-self destination.
+	for i := 0; i < 100; i++ {
+		if d := dest(0, rng); d == 0 {
+			t.Fatal("palindrome source sent to itself")
+		}
+	}
+}
+
+func TestBitReversalInvolution(t *testing.T) {
+	check := func(seed int64) bool {
+		const n = 128
+		dest, err := BitReversal(n)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// rev(rev(x)) == x for non-palindromes: drawing twice via the
+		// deterministic branch returns to the source.
+		src := int(seed%int64(n)+int64(n)) % n
+		d := dest(src, rng)
+		if d == src {
+			return false
+		}
+		back := dest(d, rng)
+		// If both src and d are non-palindromic the mapping must invert.
+		rev := func(x int) int {
+			r := 0
+			for b := 0; b < 7; b++ {
+				if x&(1<<b) != 0 {
+					r |= 1 << (6 - b)
+				}
+			}
+			return r
+		}
+		if rev(src) != src && rev(d) != d {
+			return back == src
+		}
+		return back != d // palindrome fallback never self-addresses
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitReversalErrors(t *testing.T) {
+	if _, err := BitReversal(48); err == nil {
+		t.Error("non-power-of-2 accepted")
+	}
+	if _, err := BitReversal(1); err == nil {
+		t.Error("single host accepted")
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	const n, hs = 32, 7
+	dest, err := Hotspot(n, hs, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	hits, draws := 0, 50000
+	for i := 0; i < draws; i++ {
+		src := rng.Intn(n - 1)
+		if src >= hs {
+			src++ // never draw from the hotspot itself here
+		}
+		if dest(src, rng) == hs {
+			hits++
+		}
+	}
+	// Expected: 10% directly plus uniform traffic landing there by chance
+	// (~0.9/31 ≈ 2.9%).
+	got := float64(hits) / float64(draws)
+	want := 0.10 + 0.90/float64(n-1)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("hotspot fraction = %.4f, want about %.4f", got, want)
+	}
+}
+
+func TestHotspotSourceIsHotspot(t *testing.T) {
+	dest, err := Hotspot(8, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if d := dest(2, rng); d == 2 {
+			t.Fatal("hotspot host sent to itself")
+		}
+	}
+}
+
+func TestHotspotErrors(t *testing.T) {
+	if _, err := Hotspot(8, 8, 0.1); err == nil {
+		t.Error("out-of-range hotspot accepted")
+	}
+	if _, err := Hotspot(8, 0, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := Hotspot(1, 0, 0.5); err == nil {
+		t.Error("single host accepted")
+	}
+}
+
+func TestLocalRespectsRadius(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, radius := range []int{3, 4} {
+		dest, err := Local(net, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 20000; i++ {
+			src := rng.Intn(net.NumHosts())
+			d := dest(src, rng)
+			if d == src {
+				t.Fatal("local returned the source")
+			}
+			ds := net.Distances(net.SwitchOf(src))
+			if got := ds[net.SwitchOf(d)]; got > radius {
+				t.Fatalf("destination %d is %d switches away, radius %d", d, got, radius)
+			}
+		}
+	}
+}
+
+func TestLocalCoversRadius(t *testing.T) {
+	net, err := topology.NewTorus(8, 8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := Local(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	seenDist := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		d := dest(0, rng)
+		seenDist[net.Distances(0)[net.SwitchOf(d)]] = true
+	}
+	for r := 1; r <= 3; r++ {
+		if !seenDist[r] {
+			t.Errorf("radius-3 local never drew a destination %d switches away", r)
+		}
+	}
+}
+
+func TestLocalErrors(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Local(net, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	// Radius 0 on a 1-host-per-switch network leaves no candidates
+	// besides the source itself.
+	if _, err := Local(net, 0); err == nil {
+		t.Error("radius 0 with 1 host per switch accepted")
+	}
+}

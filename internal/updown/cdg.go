@@ -1,0 +1,98 @@
+package updown
+
+import "itbsim/internal/topology"
+
+// ChannelSeq converts a switch path to the sequence of directed channels it
+// traverses. A zero- or one-switch path yields nil.
+func ChannelSeq(net *topology.Network, path []int) []int {
+	if len(path) < 2 {
+		return nil
+	}
+	seq := make([]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		l := net.LinkBetween(path[i], path[i+1])
+		if l < 0 {
+			return nil
+		}
+		seq = append(seq, net.Channel(l, path[i]))
+	}
+	return seq
+}
+
+// DependencyGraph is the channel dependency graph induced by a set of
+// routes: there is an edge c1 -> c2 when some route holds channel c1 and
+// requests channel c2 next. Routes that eject packets at in-transit hosts
+// must be split into their segments before being added — ejection removes
+// the dependency, which is exactly how the ITB mechanism restores deadlock
+// freedom.
+type DependencyGraph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// NewDependencyGraph creates an empty dependency graph over the network's
+// directed channels.
+func NewDependencyGraph(net *topology.Network) *DependencyGraph {
+	n := net.NumChannels()
+	g := &DependencyGraph{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// AddRoute adds the pairwise dependencies of a channel sequence.
+func (g *DependencyGraph) AddRoute(channels []int) {
+	for i := 0; i+1 < len(channels); i++ {
+		g.adj[channels[i]][channels[i+1]] = struct{}{}
+	}
+}
+
+// Acyclic reports whether the dependency graph has no cycles. An acyclic
+// CDG is the classic sufficient condition for deadlock freedom of wormhole
+// or cut-through routing (Dally & Seitz).
+func (g *DependencyGraph) Acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, g.n)
+	// Iterative DFS with explicit stack to survive large graphs.
+	type frame struct {
+		node int
+		next []int
+	}
+	neighbours := func(c int) []int {
+		out := make([]int, 0, len(g.adj[c]))
+		for d := range g.adj[c] {
+			out = append(out, d)
+		}
+		return out
+	}
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start, next: neighbours(start)}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(f.next) == 0 {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			c := f.next[0]
+			f.next = f.next[1:]
+			switch color[c] {
+			case grey:
+				return false
+			case white:
+				color[c] = grey
+				stack = append(stack, frame{node: c, next: neighbours(c)})
+			}
+		}
+	}
+	return true
+}

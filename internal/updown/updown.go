@@ -1,0 +1,190 @@
+// Package updown implements the up*/down* routing scheme used by Myrinet
+// and Autonet: a breadth-first spanning tree assigns a direction to every
+// operational link, and a legal route traverses zero or more links in the
+// "up" direction followed by zero or more links in the "down" direction.
+// The package provides the direction assignment, path legality checks,
+// shortest-legal-path search, a re-implementation of Myricom's
+// simple_routes balanced path selection, and a channel-dependency-graph
+// deadlock checker used by tests.
+package updown
+
+import (
+	"fmt"
+
+	"itbsim/internal/topology"
+)
+
+// Assignment is the up*/down* direction assignment for a network: the BFS
+// spanning tree from Root and the resulting "up" end of every link.
+type Assignment struct {
+	Net   *topology.Network
+	Root  int
+	Level []int // BFS tree depth of every switch (root = 0)
+
+	// upEnd[l] is the switch at the "up" end of link l: the end closer to
+	// the root, ties broken by lower switch ID (§2 of the paper).
+	upEnd []int
+}
+
+// NewAssignment computes the up*/down* direction assignment rooted at the
+// given switch.
+func NewAssignment(net *topology.Network, root int) (*Assignment, error) {
+	if root < 0 || root >= net.Switches {
+		return nil, fmt.Errorf("updown: root switch %d out of range [0,%d)", root, net.Switches)
+	}
+	a := &Assignment{Net: net, Root: root}
+	a.Level = net.Distances(root)
+	a.upEnd = make([]int, len(net.Links))
+	for i, l := range net.Links {
+		sa, sb := l.A.Switch, l.B.Switch
+		switch {
+		case a.Level[sa] < a.Level[sb]:
+			a.upEnd[i] = sa
+		case a.Level[sb] < a.Level[sa]:
+			a.upEnd[i] = sb
+		case sa < sb:
+			a.upEnd[i] = sa
+		default:
+			a.upEnd[i] = sb
+		}
+	}
+	return a, nil
+}
+
+// UpEnd returns the switch at the "up" end of link l.
+func (a *Assignment) UpEnd(l int) int { return a.upEnd[l] }
+
+// IsUpChannel reports whether directed channel c travels in the "up"
+// direction (towards the up end of its link).
+func (a *Assignment) IsUpChannel(c int) bool {
+	_, to := a.Net.ChannelEnds(c)
+	return to == a.upEnd[c/2]
+}
+
+// IsUpHop reports whether moving from switch 'from' across link l is an
+// "up" traversal.
+func (a *Assignment) IsUpHop(l, from int) bool {
+	return a.upEnd[l] != from
+}
+
+// LegalChannelSeq reports whether a sequence of directed channels obeys the
+// up*/down* rule: no "up" traversal after a "down" traversal.
+func (a *Assignment) LegalChannelSeq(channels []int) bool {
+	goneDown := false
+	for _, c := range channels {
+		if a.IsUpChannel(c) {
+			if goneDown {
+				return false
+			}
+		} else {
+			goneDown = true
+		}
+	}
+	return true
+}
+
+// LegalSwitchPath reports whether a switch path (sequence of adjacent
+// switches) obeys the up*/down* rule. Adjacent switches are connected via
+// the lowest-numbered link between them (none of the paper topologies have
+// parallel links).
+func (a *Assignment) LegalSwitchPath(path []int) bool {
+	goneDown := false
+	for i := 0; i+1 < len(path); i++ {
+		l := a.Net.LinkBetween(path[i], path[i+1])
+		if l < 0 {
+			return false
+		}
+		if a.IsUpHop(l, path[i]) {
+			if goneDown {
+				return false
+			}
+		} else {
+			goneDown = true
+		}
+	}
+	return true
+}
+
+// phase of a partially built up*/down* path.
+const (
+	phaseUp   = 0 // still allowed to take "up" links
+	phaseDown = 1 // a "down" link has been taken; only "down" links remain legal
+)
+
+// LegalDistances returns, for a source switch, the minimal number of links
+// of any legal up*/down* path to every switch. The search runs over
+// (switch, phase) states: from phaseUp an "up" hop keeps phaseUp and a
+// "down" hop moves to phaseDown; from phaseDown only "down" hops are legal.
+func (a *Assignment) LegalDistances(src int) []int {
+	const inf = int(^uint(0) >> 1)
+	dist := make([][2]int, a.Net.Switches)
+	for i := range dist {
+		dist[i] = [2]int{inf, inf}
+	}
+	dist[src][phaseUp] = 0
+	type state struct{ sw, ph int }
+	queue := []state{{src, phaseUp}}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		d := dist[st.sw][st.ph]
+		for _, nb := range a.Net.Neighbors(st.sw) {
+			up := a.IsUpHop(nb.Link, st.sw)
+			var nph int
+			if up {
+				if st.ph == phaseDown {
+					continue
+				}
+				nph = phaseUp
+			} else {
+				nph = phaseDown
+			}
+			if dist[nb.Switch][nph] > d+1 {
+				dist[nb.Switch][nph] = d + 1
+				queue = append(queue, state{nb.Switch, nph})
+			}
+		}
+	}
+	out := make([]int, a.Net.Switches)
+	for s := range out {
+		m := dist[s][phaseUp]
+		if dist[s][phaseDown] < m {
+			m = dist[s][phaseDown]
+		}
+		if m == inf {
+			m = -1
+		}
+		out[s] = m
+	}
+	return out
+}
+
+// MinimalLegalFraction returns the fraction of ordered switch pairs
+// (src != dst) whose shortest legal up*/down* path is also a shortest path
+// in the raw graph, and the average legal and raw distances. The paper
+// reports 80% for the 8x8 torus, 94% with express channels, and 100% for
+// CPLANT.
+func (a *Assignment) MinimalLegalFraction() (fraction, avgLegal, avgRaw float64) {
+	n := a.Net.Switches
+	minimal, pairs := 0, 0
+	var sumLegal, sumRaw int
+	for s := 0; s < n; s++ {
+		raw := a.Net.Distances(s)
+		legal := a.LegalDistances(s)
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			pairs++
+			sumRaw += raw[d]
+			sumLegal += legal[d]
+			if legal[d] == raw[d] {
+				minimal++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 1, 0, 0
+	}
+	return float64(minimal) / float64(pairs), float64(sumLegal) / float64(pairs), float64(sumRaw) / float64(pairs)
+}

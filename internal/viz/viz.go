@@ -1,0 +1,176 @@
+// Package viz renders the paper's figures as actual images using only the
+// standard library: latency-vs-accepted-traffic curves as SVG (figures 7,
+// 10, 12) and link-utilization heat maps as PNG (figures 8, 9, 11).
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"strings"
+
+	"itbsim/internal/stats"
+	"itbsim/internal/topology"
+)
+
+// CurveStyle pairs a curve with a stroke colour.
+type CurveStyle struct {
+	Curve stats.Curve
+	Color string // SVG colour, e.g. "#d62728"
+}
+
+// DefaultColors cycles through distinguishable strokes for up to six
+// curves.
+var DefaultColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	svgW, svgH             = 640, 440
+	padL, padR, padT, padB = 70, 20, 40, 60
+)
+
+// CurvesSVG writes a latency-vs-accepted-traffic plot in the layout of the
+// paper's performance figures: x = accepted traffic (flits/ns/switch),
+// y = average message latency (ns). The y axis is clamped at four times the
+// lowest observed latency so the saturation asymptote stays readable, as in
+// the paper's figures.
+func CurvesSVG(w io.Writer, title string, curves []stats.Curve) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("viz: no curves to plot")
+	}
+	var maxX, minY float64
+	minY = math.Inf(1)
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if p.Result == nil {
+				continue
+			}
+			if p.Result.Accepted > maxX {
+				maxX = p.Result.Accepted
+			}
+			if p.Result.AvgLatencyNs < minY {
+				minY = p.Result.AvgLatencyNs
+			}
+		}
+	}
+	if maxX == 0 || math.IsInf(minY, 1) {
+		return fmt.Errorf("viz: curves contain no measurements")
+	}
+	maxY := 4 * minY
+	plotW := float64(svgW - padL - padR)
+	plotH := float64(svgH - padT - padB)
+	xpix := func(x float64) float64 { return padL + x/maxX*plotW }
+	ypix := func(y float64) float64 {
+		if y > maxY {
+			y = maxY
+		}
+		return padT + plotH - (y-0)/maxY*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", svgW/2, xmlEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, svgH-padB, svgW-padR, svgH-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, padT, padL, svgH-padB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">accepted traffic (flits/ns/switch)</text>`+"\n", svgW/2, svgH-15)
+	fmt.Fprintf(&b, `<text x="18" y="%d" text-anchor="middle" transform="rotate(-90 18 %d)">latency (ns)</text>`+"\n", svgH/2, svgH/2)
+
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 5; i++ {
+		x := maxX * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n", xpix(x), svgH-padB, xpix(x), svgH-padB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.3f</text>`+"\n", xpix(x), svgH-padB+20, x)
+		y := maxY * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n", padL-5, ypix(y), padL, ypix(y))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.0f</text>`+"\n", padL-8, ypix(y)+4, y)
+	}
+
+	// Curves + legend.
+	for ci, c := range curves {
+		col := DefaultColors[ci%len(DefaultColors)]
+		var pts []string
+		for _, p := range c.Points {
+			if p.Result == nil {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpix(p.Result.Accepted), ypix(p.Result.AvgLatencyNs)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), col)
+		}
+		ly := padT + 18*ci
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", svgW-padR-150, ly, svgW-padR-120, ly, col)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", svgW-padR-112, ly+4, xmlEscape(c.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// HeatPNG writes a per-switch utilization heat map for a rows×cols grid
+// topology, mirroring figures 8/9/11: each switch is a cell coloured by the
+// maximum utilization of its outgoing channels (white = idle, dark red =
+// 50%+).
+func HeatPNG(w io.Writer, net *topology.Network, busy []float64, rows, cols int) error {
+	if rows*cols != net.Switches {
+		return fmt.Errorf("viz: grid %dx%d does not cover %d switches", rows, cols, net.Switches)
+	}
+	if len(busy) != net.NumChannels() {
+		return fmt.Errorf("viz: %d busy entries for %d channels", len(busy), net.NumChannels())
+	}
+	maxOut := make([]float64, net.Switches)
+	for c, u := range busy {
+		from, _ := net.ChannelEnds(c)
+		if u > maxOut[from] {
+			maxOut[from] = u
+		}
+	}
+	const cell, gap = 28, 2
+	img := image.NewRGBA(image.Rect(0, 0, cols*(cell+gap)+gap, rows*(cell+gap)+gap))
+	// Background.
+	for y := 0; y < img.Rect.Dy(); y++ {
+		for x := 0; x < img.Rect.Dx(); x++ {
+			img.Set(x, y, color.RGBA{220, 220, 220, 255})
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			col := HeatColor(maxOut[topology.TorusID(r, c, cols)])
+			x0, y0 := gap+c*(cell+gap), gap+r*(cell+gap)
+			for y := y0; y < y0+cell; y++ {
+				for x := x0; x < x0+cell; x++ {
+					img.Set(x, y, col)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// HeatColor maps a utilization in [0,1] to a white→red ramp saturating at
+// 50% (the paper's figures peak around there).
+func HeatColor(u float64) color.RGBA {
+	if u < 0 {
+		u = 0
+	}
+	t := u / 0.5
+	if t > 1 {
+		t = 1
+	}
+	return color.RGBA{
+		R: 255,
+		G: uint8(255 * (1 - t)),
+		B: uint8(255 * (1 - t)),
+		A: 255,
+	}
+}

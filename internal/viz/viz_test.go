@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/stats"
+	"itbsim/internal/topology"
+)
+
+func curve(label string, pts ...[2]float64) stats.Curve {
+	c := stats.Curve{Label: label}
+	for _, p := range pts {
+		c.Points = append(c.Points, stats.SweepPoint{
+			Load:   p[0],
+			Result: &netsim.Result{Accepted: p[0], AvgLatencyNs: p[1], Injected: p[0]},
+		})
+	}
+	return c
+}
+
+func TestCurvesSVG(t *testing.T) {
+	var buf bytes.Buffer
+	curves := []stats.Curve{
+		curve("UP/DOWN", [2]float64{0.005, 4000}, [2]float64{0.015, 8000}),
+		curve("ITB-RR", [2]float64{0.005, 4200}, [2]float64{0.03, 9000}),
+	}
+	if err := CurvesSVG(&buf, "fig 7a <test>", curves); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "UP/DOWN", "ITB-RR", "accepted traffic", "latency (ns)", "&lt;test&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines")
+	}
+}
+
+func TestCurvesSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CurvesSVG(&buf, "empty", nil); err == nil {
+		t.Error("no curves accepted")
+	}
+	if err := CurvesSVG(&buf, "hollow", []stats.Curve{{Label: "x"}}); err == nil {
+		t.Error("measurement-free curves accepted")
+	}
+}
+
+func TestHeatPNG(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]float64, net.NumChannels())
+	// Heat up switch 5's outgoing channels.
+	for c := range busy {
+		if from, _ := net.ChannelEnds(c); from == 5 {
+			busy[c] = 0.5
+		}
+	}
+	var buf bytes.Buffer
+	if err := HeatPNG(&buf, net, busy, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 4*30+2 || img.Bounds().Dy() != 4*30+2 {
+		t.Errorf("unexpected dimensions %v", img.Bounds())
+	}
+	// Switch 5 is at grid (1,1): its cell centre must be saturated red;
+	// switch 0's cell must be white.
+	r, g, b, _ := img.At(2+1*30+14, 2+1*30+14).RGBA()
+	if r>>8 != 255 || g>>8 != 0 || b>>8 != 0 {
+		t.Errorf("hot cell = %d,%d,%d, want 255,0,0", r>>8, g>>8, b>>8)
+	}
+	r, g, b, _ = img.At(2+14, 2+14).RGBA()
+	if r>>8 != 255 || g>>8 != 255 || b>>8 != 255 {
+		t.Errorf("cold cell = %d,%d,%d, want white", r>>8, g>>8, b>>8)
+	}
+}
+
+func TestHeatPNGErrors(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := HeatPNG(&buf, net, make([]float64, net.NumChannels()), 3, 3); err == nil {
+		t.Error("wrong grid shape accepted")
+	}
+	if err := HeatPNG(&buf, net, make([]float64, 3), 4, 4); err == nil {
+		t.Error("wrong busy length accepted")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if c := HeatColor(0); c.G != 255 || c.B != 255 {
+		t.Errorf("0%% = %v, want white", c)
+	}
+	if c := HeatColor(0.5); c.G != 0 || c.B != 0 {
+		t.Errorf("50%% = %v, want full red", c)
+	}
+	if c := HeatColor(2); c.G != 0 {
+		t.Errorf("overload should clamp: %v", c)
+	}
+	if c := HeatColor(-1); c.G != 255 {
+		t.Errorf("negative should clamp to white: %v", c)
+	}
+	mid := HeatColor(0.25)
+	if mid.G == 0 || mid.G == 255 {
+		t.Errorf("25%% should be intermediate: %v", mid)
+	}
+}
