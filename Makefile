@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race race-determinism bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector. Slow; the simulator itself is
+# single-threaded per job, so this mainly exercises the runner pool,
+# the table cache, and the reporter serialization.
+race:
+	$(GO) test -race ./...
+
+# The parallel-correctness core: byte-identical results across worker
+# counts, single-flight table builds, and cancellation — all under -race.
+race-determinism:
+	$(GO) test -race -count=1 -run 'Determinism|TableCache|Reporter|Cancelled' ./internal/runner/
+	$(GO) test -race -count=1 -run 'RunSpecDeterministicReplicas' .
+
+# Figure-7 suite wall-clock, sequential vs parallel=NumCPU.
+bench:
+	$(GO) test -bench RunnerParallelFigure7 -benchtime=1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ package itbsim_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -802,5 +803,30 @@ func BenchmarkAblationMessageSize(b *testing.B) {
 				b.ReportMetric(ratio, fmt.Sprintf("RR/UD@%dB", size))
 			}
 		}
+	}
+}
+
+// BenchmarkRunnerParallelFigure7 measures the wall-clock of one full
+// latency figure (3 scheme curves, torus, uniform) executed through the
+// experiment runner sequentially versus with one worker per CPU. The
+// speedup is bounded by the host's core count — on a single-core box the
+// two variants coincide; EXPERIMENTS.md records measured numbers.
+func BenchmarkRunnerParallelFigure7(b *testing.B) {
+	e := benchEnv(b, experiments.TopoTorus)
+	loads := experiments.DefaultLoads(experiments.TopoTorus, e.Scale)
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cs, err := experiments.LatencyFigureOpts(e, experiments.Pattern{Kind: "uniform"},
+					loads, 512, 1, experiments.RunOptions{Parallel: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					sat := cs.Saturation()
+					b.ReportMetric(sat[2], "RRsat")
+				}
+			}
+		})
 	}
 }

@@ -3,15 +3,21 @@
 // draws random hotspot locations and reports the saturation throughput of
 // every routing scheme at each location, plus the average row.
 //
+// The locations × schemes sweeps run as independent jobs on the
+// experiment runner, sharing one routing-table build per scheme:
+// -parallel N spreads them over N workers, -progress streams per-point
+// progress to stderr, and -json emits the table as JSON.
+//
 // Examples:
 //
 //	hotspot -topo torus   -frac 0.05 -locations 10   # table 1, left half
 //	hotspot -topo torus   -frac 0.10 -locations 10   # table 1, right half
 //	hotspot -topo express -frac 0.03                 # table 2
-//	hotspot -topo cplant  -frac 0.05                 # table 3
+//	hotspot -topo cplant  -frac 0.05 -parallel 8     # table 3, 8 workers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +32,7 @@ func main() {
 	log.SetPrefix("hotspot: ")
 	fs := flag.NewFlagSet("hotspot", flag.ExitOnError)
 	common := cli.AddCommon(fs)
+	run := cli.AddRun(fs)
 	locations := fs.Int("locations", 10, "number of random hotspot locations")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
@@ -36,10 +43,49 @@ func main() {
 		log.Fatal(err)
 	}
 	loads := experiments.DefaultLoads(env.Topo, env.Scale)
-	rows, err := experiments.HotspotBattery(env, *common.Frac, *locations, loads, *common.Bytes, *common.Seed)
+	rows, err := experiments.HotspotBatteryOpts(env, *common.Frac, *locations, loads,
+		*common.Bytes, *common.Seed, run.Options())
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *run.JSON {
+		if err := writeJSON(os.Stdout, env, *common.Frac, rows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("# %s %s, %d-byte messages, seed %d\n", env.Topo, env.Scale, *common.Bytes, *common.Seed)
 	fmt.Print(experiments.FormatHotspotTable(*common.Frac, rows))
+}
+
+type jsonBattery struct {
+	Topo     string    `json:"topo"`
+	Scale    string    `json:"scale"`
+	Fraction float64   `json:"fraction"`
+	Schemes  []string  `json:"schemes"`
+	Rows     []jsonRow `json:"rows"`
+	Average  []float64 `json:"average"`
+}
+
+type jsonRow struct {
+	Location   int       `json:"location"`
+	Throughput []float64 `json:"throughput"`
+}
+
+func writeJSON(w *os.File, env *experiments.Env, frac float64, rows []experiments.HotspotRow) error {
+	out := jsonBattery{
+		Topo:     env.Topo,
+		Scale:    env.Scale.String(),
+		Fraction: frac,
+		Average:  experiments.HotspotAverages(rows),
+	}
+	for _, s := range experiments.AllSchemes {
+		out.Schemes = append(out.Schemes, s.String())
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, jsonRow{Location: r.Location, Throughput: r.Throughput})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

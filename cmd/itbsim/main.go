@@ -1,9 +1,13 @@
-// Command itbsim runs a single simulation point and prints its
+// Command itbsim runs single simulation points and prints their
 // measurements: latency, accepted traffic, ITB usage and pool statistics.
+// -scheme accepts a comma-separated list; the schemes run as independent
+// jobs on the experiment runner (-parallel N workers), and -json replaces
+// the text output with the full report as JSON.
 //
-// Example:
+// Examples:
 //
 //	itbsim -topo torus -scale medium -scheme itb-rr -traffic uniform -load 0.02
+//	itbsim -topo torus -scheme updown,itb-sp,itb-rr -load 0.02 -parallel 3
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"itbsim/internal/cli"
 	"itbsim/internal/experiments"
 	"itbsim/internal/netsim"
+	"itbsim/internal/runner"
 )
 
 func main() {
@@ -22,10 +27,11 @@ func main() {
 	log.SetPrefix("itbsim: ")
 	fs := flag.NewFlagSet("itbsim", flag.ExitOnError)
 	common := cli.AddCommon(fs)
-	scheme := fs.String("scheme", "itb-rr", "routing: updown, itb-sp, itb-rr, or ud-min")
+	run := cli.AddRun(fs)
+	scheme := fs.String("scheme", "itb-rr", "routing: updown, itb-sp, itb-rr, or ud-min (comma-separated list allowed)")
 	load := fs.Float64("load", 0.01, "injection rate in flits/ns/switch")
 	util := fs.Bool("util", false, "collect and print link utilization")
-	trace := fs.Int("trace", 0, "print the last N packet life-cycle events")
+	trace := fs.Int("trace", 0, "print the last N packet life-cycle events (single scheme only)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -38,27 +44,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sch, err := cli.Scheme(*scheme)
+	schemes, err := cli.Schemes(*scheme)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var tracer *netsim.RingTracer
+	// The traced path runs one simulation directly: tracers are stateful
+	// and tied to a single run, so they bypass the worker pool.
 	if *trace > 0 {
-		tracer = netsim.NewRingTracer(*trace)
-	}
-	var res *netsim.Result
-	var err2 error
-	if tracer != nil {
-		res, err2 = experiments.RunOneTraced(env, sch, pat, *load, *common.Bytes, *common.Seed, *util, tracer)
-	} else {
-		res, err2 = experiments.RunOne(env, sch, pat, *load, *common.Bytes, *common.Seed, *util)
-	}
-	if err2 != nil {
-		log.Fatal(err2)
+		if len(schemes) != 1 {
+			log.Fatal("-trace requires a single -scheme")
+		}
+		tracer := netsim.NewRingTracer(*trace)
+		res, err := experiments.RunOneTraced(env, schemes[0], pat, *load, *common.Bytes, *common.Seed, *util, tracer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printPoint(env, schemes[0].String(), pat, *load, *common.Bytes, res, *util)
+		fmt.Printf("last %d of %d traced events:\n", len(tracer.Events()), tracer.Total())
+		for _, e := range tracer.Events() {
+			fmt.Printf("  %s\n", e)
+		}
+		return
 	}
 
-	fmt.Printf("%s %s %s %s load=%.4f bytes=%d\n", env.Topo, env.Scale, sch, pat, *load, *common.Bytes)
+	spec := experiments.SpecFor(env, schemes, []experiments.Pattern{pat},
+		[]float64{*load}, *common.Bytes, *common.Seed, run.Options())
+	spec.CollectLinkUtil = *util
+	rep, err := runner.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *run.JSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for i := range rep.Curves {
+		cr := &rep.Curves[i]
+		printPoint(env, cr.Job.Scheme.String(), pat, *load, *common.Bytes, cr.Curve.Points[0].Result, *util)
+	}
+}
+
+func printPoint(env *experiments.Env, scheme string, pat experiments.Pattern, load float64, bytes int, res *netsim.Result, util bool) {
+	fmt.Printf("%s %s %s %s load=%.4f bytes=%d\n", env.Topo, env.Scale, scheme, pat, load, bytes)
 	fmt.Printf("  accepted traffic : %.5f flits/ns/switch (injected %.5f)\n", res.Accepted, res.Injected)
 	fmt.Printf("  avg latency      : %.0f ns (network only: %.0f ns, max %.0f ns)\n",
 		res.AvgLatencyNs, res.AvgNetLatencyNs, res.MaxLatencyNs)
@@ -66,14 +96,8 @@ func main() {
 		res.DeliveredMeasured, res.Cycles, truncNote(res.Truncated))
 	fmt.Printf("  ITBs per message : %.3f (pool peak %d B, overflows %d)\n",
 		res.AvgITBsPerMessage, res.PoolPeakBytes, res.PoolOverflows)
-	if *util && res.LinkBusy != nil {
+	if util && res.LinkBusy != nil {
 		fmt.Println(linkUtilString(env, res.LinkBusy))
-	}
-	if tracer != nil {
-		fmt.Printf("last %d of %d traced events:\n", len(tracer.Events()), tracer.Total())
-		for _, e := range tracer.Events() {
-			fmt.Printf("  %s\n", e)
-		}
 	}
 }
 

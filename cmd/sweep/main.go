@@ -4,6 +4,11 @@
 // (UP/DOWN, ITB-SP, ITB-RR) and prints the latency/traffic series plus the
 // saturation throughputs.
 //
+// The three scheme curves run as independent jobs on the experiment
+// runner: -parallel N spreads them over N workers, -progress streams
+// per-point progress to stderr, and -json replaces the text output with
+// the full report (curves, per-job timing, wall clock) as JSON.
+//
 // Examples:
 //
 //	sweep -topo torus   -traffic uniform            # figure 7a
@@ -11,6 +16,7 @@
 //	sweep -topo cplant  -traffic uniform            # figure 7c
 //	sweep -topo torus   -traffic bitrev             # figure 10a
 //	sweep -topo torus   -traffic local -radius 3    # figure 12a
+//	sweep -topo torus -parallel 3 -json             # figure 7a, JSON report
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"itbsim/internal/cli"
 	"itbsim/internal/experiments"
+	"itbsim/internal/runner"
 	"itbsim/internal/stats"
 	"itbsim/internal/viz"
 )
@@ -32,6 +39,7 @@ func main() {
 	log.SetPrefix("sweep: ")
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	common := cli.AddCommon(fs)
+	run := cli.AddRun(fs)
 	loadsFlag := fs.String("loads", "", "comma-separated injection rates (default: per-topology grid)")
 	svgOut := fs.String("svg", "", "also write the figure as an SVG plot to this file")
 	csvOut := fs.String("csv", "", "also write the raw series as CSV to this file")
@@ -53,11 +61,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cs, err := experiments.LatencyFigure(env, pat, loads, *common.Bytes, *common.Seed)
+	spec := experiments.SpecFor(env, experiments.AllSchemes, []experiments.Pattern{pat},
+		loads, *common.Bytes, *common.Seed, run.Options())
+	rep, err := runner.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("# %s %s %s, %d-byte messages, seed %d\n", env.Topo, env.Scale, pat, *common.Bytes, *common.Seed)
+	if *run.JSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	cs := experiments.CurveSet{Topo: env.Topo, Pattern: pat}
+	for i := range rep.Curves {
+		cs.Curves = append(cs.Curves, rep.Curves[i].Curve)
+	}
+	fmt.Printf("# %s %s %s, %d-byte messages, seed %d (%d workers, %.1fs)\n",
+		env.Topo, env.Scale, pat, *common.Bytes, *common.Seed, rep.Parallel, rep.Wall.Seconds())
 	fmt.Print(cs.String())
 
 	if *csvOut != "" {

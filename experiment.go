@@ -1,9 +1,11 @@
 package itbsim
 
 import (
-	"fmt"
+	"context"
+	"io"
 
 	"itbsim/internal/netsim"
+	"itbsim/internal/runner"
 	"itbsim/internal/stats"
 )
 
@@ -17,55 +19,90 @@ type SweepPoint = stats.SweepPoint
 // LinkUtilReport summarises per-channel utilization (figures 8, 9, 11).
 type LinkUtilReport = stats.LinkUtilReport
 
-// SweepConfig configures a latency-vs-traffic sweep through the public API.
-type SweepConfig struct {
-	Net   *Network
-	Table *RoutingTable
-	Dest  DestFn
-	// Loads are the injection rates to visit, ascending, in
-	// flits/ns/switch. The sweep stops one point after saturation.
-	Loads           []float64
-	MessageBytes    int
-	Seed            int64
-	WarmupMessages  int
-	MeasureMessages int
-	MaxCycles       int64
-	Label           string
+// RunSpec declares a grid of latency/traffic sweeps: a network, the
+// schemes and traffic patterns to cross, the ascending load grid, and the
+// measurement protocol. Run expands it into independent curve jobs
+// (scheme × pattern × replica) and executes them on a worker pool with
+// deterministic seed derivation — results are byte-identical at every
+// Parallel setting.
+//
+// Two forms are accepted. The declarative grid form sets Schemes and
+// Patterns and lets the runner build routing tables through a shared
+// cache (one build per scheme, cloned per job). The single-curve form —
+// the former SweepConfig — sets a prebuilt Table and an explicit Dest.
+type RunSpec = runner.Spec
+
+// SweepConfig is the former name of the single-curve RunSpec form.
+//
+// Deprecated: use RunSpec; the field set is unchanged.
+type SweepConfig = RunSpec
+
+// Pattern declares a traffic pattern for RunSpec grids: Kind "uniform",
+// "bitrev", "hotspot", "local", or "custom" (explicit DestFn).
+type Pattern = runner.Pattern
+
+// Job identifies one curve of a RunSpec expansion.
+type Job = runner.Job
+
+// CurveResult is one finished job: its curve, timing, and any error.
+type CurveResult = runner.CurveResult
+
+// RunReport is the outcome of a Run: every curve in expansion order plus
+// wall-clock and table-build accounting. WriteJSON emits it as JSON.
+type RunReport = runner.Report
+
+// Reporter observes a Run's progress; see NewLogReporter for a plain-text
+// implementation. The runner serializes calls, so implementations need
+// not be thread-safe.
+type Reporter = runner.Reporter
+
+// TableCache memoizes routing-table construction; put one in
+// RunSpec.Cache to share builds across Runs on the same network.
+type TableCache = runner.TableCache
+
+// NewTableCache returns an empty routing-table cache.
+func NewTableCache() *TableCache { return runner.NewTableCache() }
+
+// NewLogReporter returns a Reporter printing one line per job start, load
+// point, and job completion to w.
+func NewLogReporter(w io.Writer) Reporter { return runner.NewLogReporter(w) }
+
+// Run expands the spec and executes its jobs across RunSpec.Parallel
+// workers (default GOMAXPROCS). The report holds every curve in expansion
+// order; on error the report is returned alongside it with the completed
+// curves filled in.
+func Run(spec RunSpec) (*RunReport, error) { return runner.Run(spec) }
+
+// Sweep runs a single-curve spec — the historic API — and returns its
+// curve: the loads in order, cloning the routing table per point so the
+// round-robin state starts fresh, stopping one point after accepted
+// traffic first drops below 92% of the injected traffic. For multi-curve
+// parallel sweeps, use Run.
+func Sweep(cfg SweepConfig) (Curve, error) {
+	rep, err := runner.Run(cfg)
+	if err != nil {
+		if rep != nil && len(rep.Curves) > 0 {
+			return rep.Curves[0].Curve, err
+		}
+		return Curve{Label: cfg.Label}, err
+	}
+	return rep.Curves[0].Curve, nil
 }
 
-// Sweep runs the loads in order, cloning the routing table per point so the
-// round-robin state starts fresh, and stops one point after accepted
-// traffic first drops below 92% of the injected traffic.
-func Sweep(cfg SweepConfig) (Curve, error) {
-	c := Curve{Label: cfg.Label}
-	if len(cfg.Loads) == 0 {
-		return c, fmt.Errorf("itbsim: Sweep needs at least one load")
-	}
-	saturated := false
-	for i, load := range cfg.Loads {
-		res, err := Simulate(netsim.Config{
-			Net:             cfg.Net,
-			Table:           cfg.Table.Clone(),
-			Dest:            cfg.Dest,
-			Load:            load,
-			MessageBytes:    cfg.MessageBytes,
-			Seed:            cfg.Seed + int64(i)*101,
-			WarmupMessages:  cfg.WarmupMessages,
-			MeasureMessages: cfg.MeasureMessages,
-			MaxCycles:       cfg.MaxCycles,
-		})
-		if err != nil {
-			return c, err
-		}
-		c.Points = append(c.Points, SweepPoint{Load: load, Result: res})
-		if saturated {
-			break
-		}
-		if res.Accepted < 0.92*res.Injected {
-			saturated = true
-		}
-	}
-	return c, nil
+// SimulateContext is Simulate with cooperative cancellation: the simulator
+// checks ctx every few thousand cycles and aborts with its error when it
+// fires, making paper-scale sweeps interruptible. A run that completes is
+// byte-identical to an uncancelled Simulate.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return netsim.RunContext(ctx, cfg)
+}
+
+// DeriveSeed derives an independent child seed from a root seed and a
+// coordinate path via splitmix64 — the derivation the runner uses per
+// (scheme, pattern, replica, load point). Use it instead of arithmetic on
+// the root seed (seed+i, seed*31…), which correlates adjacent streams.
+func DeriveSeed(root int64, coords ...int64) int64 {
+	return runner.DeriveSeed(root, coords...)
 }
 
 // AnalyzeLinkUtil summarises a run's per-channel utilization relative to

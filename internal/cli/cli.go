@@ -6,9 +6,12 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"itbsim/internal/experiments"
 	"itbsim/internal/routes"
+	"itbsim/internal/runner"
 )
 
 // Common are the flags every tool accepts.
@@ -61,3 +64,44 @@ func (c *Common) Pattern() (experiments.Pattern, error) {
 
 // Scheme parses a routing scheme name.
 func Scheme(name string) (routes.Scheme, error) { return routes.ParseScheme(name) }
+
+// Schemes parses a comma-separated list of routing scheme names.
+func Schemes(names string) ([]routes.Scheme, error) {
+	var out []routes.Scheme
+	for _, name := range strings.Split(names, ",") {
+		s, err := routes.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty scheme list")
+	}
+	return out, nil
+}
+
+// Run are the flags of the tools that execute on the experiment runner.
+type Run struct {
+	Parallel *int
+	JSON     *bool
+	Progress *bool
+}
+
+// AddRun registers the runner flags on a FlagSet.
+func AddRun(fs *flag.FlagSet) *Run {
+	return &Run{
+		Parallel: fs.Int("parallel", 0, "worker goroutines for independent curves (0 = GOMAXPROCS)"),
+		JSON:     fs.Bool("json", false, "emit the full report as JSON on stdout"),
+		Progress: fs.Bool("progress", false, "stream per-job progress to stderr"),
+	}
+}
+
+// Options assembles the harness run options from the flags.
+func (r *Run) Options() experiments.RunOptions {
+	opt := experiments.RunOptions{Parallel: *r.Parallel}
+	if *r.Progress {
+		opt.Reporter = runner.NewLogReporter(os.Stderr)
+	}
+	return opt
+}

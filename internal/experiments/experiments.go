@@ -6,15 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
+	"itbsim/internal/runner"
 	"itbsim/internal/stats"
 	"itbsim/internal/topology"
-	"itbsim/internal/traffic"
 )
 
 // Scale selects the experiment size. The paper scale matches §4.1 exactly;
@@ -115,14 +114,13 @@ func PresetFor(scale Scale) MeasurePreset {
 }
 
 // Env caches a network and its routing tables across the experiments that
-// share them.
+// share them. The table cache is the runner's, so harness runs and direct
+// RunOne calls on the same Env share builds.
 type Env struct {
 	Topo  string
 	Scale Scale
 	Net   *topology.Network
-
-	mu     sync.Mutex
-	tables map[routes.Scheme]*routes.Table
+	Cache *runner.TableCache
 }
 
 // NewEnv builds the network for a topology/scale pair.
@@ -131,56 +129,48 @@ func NewEnv(topo string, scale Scale) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Topo: topo, Scale: scale, Net: net, tables: map[routes.Scheme]*routes.Table{}}, nil
+	return &Env{Topo: topo, Scale: scale, Net: net, Cache: runner.NewTableCache()}, nil
 }
 
 // Table returns the (cached) routing table for a scheme. The returned table
 // is the master copy; clone it before concurrent use.
 func (e *Env) Table(s routes.Scheme) (*routes.Table, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if t, ok := e.tables[s]; ok {
-		return t, nil
-	}
-	t, err := routes.Build(e.Net, routes.DefaultConfig(s))
-	if err != nil {
-		return nil, err
-	}
-	e.tables[s] = t
-	return t, nil
+	return e.Cache.Get(e.Net, routes.DefaultConfig(s))
 }
 
-// Pattern is a declarative traffic pattern specification.
-type Pattern struct {
-	Kind            string  // "uniform", "bitrev", "hotspot", "local"
-	HotspotHost     int     // hotspot only
-	HotspotFraction float64 // hotspot only, e.g. 0.05
-	LocalRadius     int     // local only, e.g. 3
+// Pattern is a declarative traffic pattern specification; it is the
+// runner's type, shared so harness call sites and RunSpecs interoperate.
+type Pattern = runner.Pattern
+
+// RunOptions tune how a harness executes on the runner: worker count,
+// cancellation, and progress reporting. The zero value runs with
+// GOMAXPROCS workers, no cancellation, and no reporter.
+type RunOptions struct {
+	Parallel int
+	Context  context.Context
+	Reporter runner.Reporter
 }
 
-// DestFn instantiates the pattern for a network.
-func (p Pattern) DestFn(net *topology.Network) (netsim.DestFn, error) {
-	switch p.Kind {
-	case "uniform":
-		return traffic.Uniform(net.NumHosts())
-	case "bitrev":
-		return traffic.BitReversal(net.NumHosts())
-	case "hotspot":
-		return traffic.Hotspot(net.NumHosts(), p.HotspotHost, p.HotspotFraction)
-	case "local":
-		return traffic.Local(net, p.LocalRadius)
-	}
-	return nil, fmt.Errorf("experiments: unknown traffic pattern %q", p.Kind)
-}
-
-func (p Pattern) String() string {
-	switch p.Kind {
-	case "hotspot":
-		return fmt.Sprintf("hotspot(%.0f%%@%d)", 100*p.HotspotFraction, p.HotspotHost)
-	case "local":
-		return fmt.Sprintf("local(r=%d)", p.LocalRadius)
-	default:
-		return p.Kind
+// SpecFor assembles the runner spec the harnesses share: the environment's
+// network and table cache, the scale's measurement preset, and the grid of
+// schemes × patterns over the load grid.
+func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, msgBytes int, seed int64, opt RunOptions) runner.Spec {
+	pre := PresetFor(e.Scale)
+	return runner.Spec{
+		Net:             e.Net,
+		Schemes:         schemes,
+		Patterns:        pats,
+		Loads:           loads,
+		MessageBytes:    msgBytes,
+		Seed:            seed,
+		WarmupMessages:  pre.Warmup,
+		MeasureMessages: pre.Measure,
+		MaxCycles:       pre.MaxCycles,
+		Label:           e.Topo,
+		Cache:           e.Cache,
+		Parallel:        opt.Parallel,
+		Context:         opt.Context,
+		Reporter:        opt.Reporter,
 	}
 }
 
@@ -215,65 +205,26 @@ func RunOneTraced(e *Env, scheme routes.Scheme, p Pattern, load float64, msgByte
 	})
 }
 
-// Sweep runs ascending loads for one scheme, stopping two points after
+// Sweep runs ascending loads for one scheme, stopping one point after
 // saturation is first observed (accepted < 92% of injected), and returns
-// the latency/traffic curve.
+// the latency/traffic curve. The load walk is sequential — the early stop
+// makes points order-dependent — so per-curve results are identical to a
+// parallel multi-curve run; use SweepOpts (or the runner directly) to run
+// several curves concurrently.
 func Sweep(e *Env, scheme routes.Scheme, p Pattern, loads []float64, msgBytes int, seed int64) (stats.Curve, error) {
-	curve := stats.Curve{Label: fmt.Sprintf("%s %s %s", e.Topo, scheme, p)}
-	type job struct {
-		idx  int
-		load float64
+	return SweepOpts(e, scheme, p, loads, msgBytes, seed, RunOptions{})
+}
+
+// SweepOpts is Sweep with explicit runner options.
+func SweepOpts(e *Env, scheme routes.Scheme, p Pattern, loads []float64, msgBytes int, seed int64, opt RunOptions) (stats.Curve, error) {
+	rep, err := runner.Run(SpecFor(e, []routes.Scheme{scheme}, []Pattern{p}, loads, msgBytes, seed, opt))
+	if err != nil {
+		if rep != nil && len(rep.Curves) > 0 {
+			return rep.Curves[0].Curve, err
+		}
+		return stats.Curve{}, err
 	}
-	type done struct {
-		idx int
-		res *netsim.Result
-		err error
-	}
-	// Loads run in parallel; saturation-based early stop works on the
-	// completed prefix. To bound wasted work, run in chunks of the worker
-	// count.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(loads) {
-		workers = len(loads)
-	}
-	results := make([]*netsim.Result, len(loads))
-	saturatedAt := -1
-	for start := 0; start < len(loads); start += workers {
-		end := start + workers
-		if end > len(loads) {
-			end = len(loads)
-		}
-		ch := make(chan done, end-start)
-		for i := start; i < end; i++ {
-			go func(j job) {
-				res, err := RunOne(e, scheme, p, j.load, msgBytes, seed+int64(j.idx)*101, false)
-				ch <- done{idx: j.idx, res: res, err: err}
-			}(job{idx: i, load: loads[i]})
-		}
-		for i := start; i < end; i++ {
-			d := <-ch
-			if d.err != nil {
-				return curve, d.err
-			}
-			results[d.idx] = d.res
-		}
-		for i := start; i < end; i++ {
-			if results[i].Accepted < 0.92*results[i].Injected && saturatedAt < 0 {
-				saturatedAt = i
-			}
-		}
-		if saturatedAt >= 0 && end > saturatedAt+1 {
-			results = results[:end]
-			break
-		}
-	}
-	for i, r := range results {
-		if r == nil {
-			break
-		}
-		curve.Points = append(curve.Points, stats.SweepPoint{Load: loads[i], Result: r})
-	}
-	return curve, nil
+	return rep.Curves[0].Curve, nil
 }
 
 // DefaultLoads returns the sweep grid for a topology at a scale, covering

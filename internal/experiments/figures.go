@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"itbsim/internal/routes"
+	"itbsim/internal/runner"
 	"itbsim/internal/stats"
 	"itbsim/internal/topology"
 )
@@ -24,13 +25,21 @@ type CurveSet struct {
 // LatencyFigure produces the three curves of one latency-vs-accepted-traffic
 // figure (figures 7, 10, and 12 of the paper).
 func LatencyFigure(e *Env, p Pattern, loads []float64, msgBytes int, seed int64) (CurveSet, error) {
+	return LatencyFigureOpts(e, p, loads, msgBytes, seed, RunOptions{})
+}
+
+// LatencyFigureOpts is LatencyFigure with explicit runner options: the
+// three scheme curves run as independent jobs on the worker pool.
+func LatencyFigureOpts(e *Env, p Pattern, loads []float64, msgBytes int, seed int64, opt RunOptions) (CurveSet, error) {
 	cs := CurveSet{Topo: e.Topo, Pattern: p}
-	for _, sch := range AllSchemes {
-		c, err := Sweep(e, sch, p, loads, msgBytes, seed)
-		if err != nil {
-			return cs, fmt.Errorf("sweep %v: %w", sch, err)
+	rep, err := runner.Run(SpecFor(e, AllSchemes, []Pattern{p}, loads, msgBytes, seed, opt))
+	if rep != nil {
+		for i := range rep.Curves {
+			cs.Curves = append(cs.Curves, rep.Curves[i].Curve)
 		}
-		cs.Curves = append(cs.Curves, c)
+	}
+	if err != nil {
+		return cs, fmt.Errorf("latency figure: %w", err)
 	}
 	return cs, nil
 }
@@ -125,8 +134,16 @@ type HotspotRow struct {
 // throughput under the hotspot pattern. Locations are drawn deterministically
 // from the seed, as the paper draws its "10 different hotspot locations".
 func HotspotBattery(e *Env, fraction float64, nLocations int, loads []float64, msgBytes int, seed int64) ([]HotspotRow, error) {
+	return HotspotBatteryOpts(e, fraction, nLocations, loads, msgBytes, seed, RunOptions{})
+}
+
+// HotspotBatteryOpts is HotspotBattery with explicit runner options: the
+// nLocations × len(AllSchemes) sweeps run as independent jobs on the
+// worker pool, sharing one routing-table build per scheme.
+func HotspotBatteryOpts(e *Env, fraction float64, nLocations int, loads []float64, msgBytes int, seed int64, opt RunOptions) ([]HotspotRow, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rows := make([]HotspotRow, 0, nLocations)
+	pats := make([]Pattern, 0, nLocations)
 	seen := map[int]bool{}
 	for len(rows) < nLocations {
 		h := rng.Intn(e.Net.NumHosts())
@@ -134,16 +151,16 @@ func HotspotBattery(e *Env, fraction float64, nLocations int, loads []float64, m
 			continue
 		}
 		seen[h] = true
-		row := HotspotRow{Location: h, Throughput: make([]float64, len(AllSchemes))}
-		for si, sch := range AllSchemes {
-			c, err := Sweep(e, sch, Pattern{Kind: "hotspot", HotspotHost: h, HotspotFraction: fraction},
-				loads, msgBytes, seed+int64(h))
-			if err != nil {
-				return nil, fmt.Errorf("hotspot %d %v: %w", h, sch, err)
-			}
-			row.Throughput[si] = c.SaturationThroughput()
-		}
-		rows = append(rows, row)
+		rows = append(rows, HotspotRow{Location: h, Throughput: make([]float64, len(AllSchemes))})
+		pats = append(pats, Pattern{Kind: "hotspot", HotspotHost: h, HotspotFraction: fraction})
+	}
+	rep, err := runner.Run(SpecFor(e, AllSchemes, pats, loads, msgBytes, seed, opt))
+	if err != nil {
+		return nil, fmt.Errorf("hotspot battery: %w", err)
+	}
+	for i := range rep.Curves {
+		cr := &rep.Curves[i]
+		rows[cr.Job.PatternIdx].Throughput[cr.Job.SchemeIdx] = cr.Curve.SaturationThroughput()
 	}
 	return rows, nil
 }
@@ -194,8 +211,10 @@ func FormatHotspotTable(fraction float64, rows []HotspotRow) string {
 func SaturationSearch(e *Env, scheme routes.Scheme, p Pattern, loads []float64, msgBytes int, seed int64, iters int) (float64, error) {
 	best := 0.0
 	lo, hi := 0.0, 0.0
-	for _, load := range loads {
-		res, err := RunOne(e, scheme, p, load, msgBytes, seed, false)
+	// Grid points use the runner's seed derivation, so this pass
+	// reproduces a Sweep over the same grid point for point.
+	for i, load := range loads {
+		res, err := RunOne(e, scheme, p, load, msgBytes, runner.PointSeed(seed, scheme, p, 0, i), false)
 		if err != nil {
 			return 0, err
 		}
@@ -219,7 +238,8 @@ func SaturationSearch(e *Env, scheme routes.Scheme, p Pattern, loads []float64, 
 	}
 	for i := 0; i < iters; i++ {
 		mid := (lo + hi) / 2
-		res, err := RunOne(e, scheme, p, mid, msgBytes, seed, false)
+		// Bisection points sit past the grid's index space.
+		res, err := RunOne(e, scheme, p, mid, msgBytes, runner.PointSeed(seed, scheme, p, 0, len(loads)+i), false)
 		if err != nil {
 			return 0, err
 		}

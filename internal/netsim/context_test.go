@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"itbsim/internal/routes"
+)
+
+// TestRunContextCancelled: a pre-cancelled context aborts the run at the
+// first check, reporting the context's error.
+func TestRunContextCancelled(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.ITBRR)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, baseConfig(net, tab))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling during a long run aborts it well
+// before MaxCycles.
+func TestRunContextCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.ITBRR)
+	cfg := baseConfig(net, tab)
+	cfg.MeasureMessages = 1_000_000 // will not finish before the cancel
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, cfg)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop within 10s of cancellation")
+	}
+}
+
+// TestRunContextMatchesRun: attaching a context must not perturb the
+// simulation — a completed RunContext is byte-identical to Run.
+func TestRunContextMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.ITBRR)
+	plain, err := Run(baseConfig(net, tab.Clone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	withCtx, err := RunContext(ctx, baseConfig(net, tab.Clone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Errorf("results diverge:\nRun:        %+v\nRunContext: %+v", plain, withCtx)
+	}
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -421,7 +422,22 @@ func (s *Sim) RunUntilDrained() (*Result, error) {
 }
 
 // Run executes the configured experiment and reports the measurements.
-func (s *Sim) Run() (*Result, error) {
+func (s *Sim) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// cancelCheckCycles is how often RunContext polls its context: every 8192
+// cycles ≈ 20 µs of simulated time, frequent enough that paper-scale
+// sweeps cancel promptly and cheap enough to vanish in the cycle loop.
+const cancelCheckCycles = 8192
+
+// RunContext is Run with cooperative cancellation: the main loop checks
+// ctx every cancelCheckCycles cycles and returns ctx.Err() mid-run when it
+// fires. Cancellation does not perturb results — a run that completes
+// yields byte-identical measurements whether or not a context is attached.
+func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done() // nil for context.Background(): zero overhead
+	}
 	lastProgress := int64(-1)
 	lastProgressAt := int64(0)
 	truncated := false
@@ -437,6 +453,13 @@ func (s *Sim) Run() (*Result, error) {
 		if s.now >= s.cfg.MaxCycles {
 			truncated = true
 			break
+		}
+		if done != nil && s.now%cancelCheckCycles == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("netsim: run cancelled at cycle %d: %w", s.now, ctx.Err())
+			default:
+			}
 		}
 		if s.progress != lastProgress {
 			lastProgress = s.progress
@@ -494,9 +517,14 @@ func (s *Sim) finalize(truncated bool) *Result {
 
 // Run is a convenience wrapper: New followed by Run.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is a convenience wrapper: New followed by RunContext.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }

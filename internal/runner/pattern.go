@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/topology"
+	"itbsim/internal/traffic"
+)
+
+// Pattern is a declarative traffic pattern specification. It is the unit a
+// Spec grids over: each (scheme, pattern, replica) combination becomes one
+// independent curve job.
+type Pattern struct {
+	Kind            string  // "uniform", "bitrev", "hotspot", "local", "custom"
+	HotspotHost     int     // hotspot only
+	HotspotFraction float64 // hotspot only, e.g. 0.05
+	LocalRadius     int     // local only, e.g. 3
+
+	// Custom carries an explicit destination chooser for Kind "custom",
+	// the escape hatch the facade uses for caller-supplied DestFns. Custom
+	// DestFns must be safe for concurrent use across jobs (the built-in
+	// patterns are: they keep no state outside the per-NIC rng).
+	Custom netsim.DestFn
+}
+
+// DestFn instantiates the pattern for a network.
+func (p Pattern) DestFn(net *topology.Network) (netsim.DestFn, error) {
+	switch p.Kind {
+	case "uniform":
+		return traffic.Uniform(net.NumHosts())
+	case "bitrev":
+		return traffic.BitReversal(net.NumHosts())
+	case "hotspot":
+		return traffic.Hotspot(net.NumHosts(), p.HotspotHost, p.HotspotFraction)
+	case "local":
+		return traffic.Local(net, p.LocalRadius)
+	case "custom":
+		if p.Custom == nil {
+			return nil, fmt.Errorf("runner: custom pattern has no DestFn")
+		}
+		return p.Custom, nil
+	}
+	return nil, fmt.Errorf("runner: unknown traffic pattern %q", p.Kind)
+}
+
+func (p Pattern) String() string {
+	switch p.Kind {
+	case "hotspot":
+		return fmt.Sprintf("hotspot(%.0f%%@%d)", 100*p.HotspotFraction, p.HotspotHost)
+	case "local":
+		return fmt.Sprintf("local(r=%d)", p.LocalRadius)
+	default:
+		return p.Kind
+	}
+}
+
+// salt folds the pattern's identity into a seed coordinate, so different
+// patterns (and different hotspot locations of the same fraction) draw
+// decorrelated PRNG streams from the same root seed.
+func (p Pattern) salt() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.String()))
+	return int64(h.Sum64())
+}

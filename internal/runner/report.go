@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"itbsim/internal/netsim"
+)
+
+// Reporter observes a Run's progress: job start, every finished load
+// point, and job completion with timing. The runner serializes calls
+// through one mutex, so implementations need not be thread-safe; they
+// must not block for long, as they stall the reporting worker.
+type Reporter interface {
+	JobStarted(j Job)
+	PointDone(j Job, load float64, res *netsim.Result)
+	JobDone(cr *CurveResult)
+}
+
+// lockedReporter serializes reporter calls from the worker pool and makes
+// a nil reporter a no-op.
+type lockedReporter struct {
+	mu sync.Mutex
+	r  Reporter
+}
+
+func newLockedReporter(r Reporter) *lockedReporter { return &lockedReporter{r: r} }
+
+func (l *lockedReporter) jobStarted(j Job) {
+	if l.r == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.r.JobStarted(j)
+}
+
+func (l *lockedReporter) pointDone(j Job, load float64, res *netsim.Result) {
+	if l.r == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.r.PointDone(j, load, res)
+}
+
+func (l *lockedReporter) jobDone(cr *CurveResult) {
+	if l.r == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.r.JobDone(cr)
+}
+
+// logReporter writes one line per event, for CLI progress on stderr.
+type logReporter struct{ w io.Writer }
+
+// NewLogReporter returns a Reporter printing one line per job start, load
+// point, and job completion to w.
+func NewLogReporter(w io.Writer) Reporter { return &logReporter{w: w} }
+
+func (l *logReporter) JobStarted(j Job) {
+	fmt.Fprintf(l.w, "start %s\n", j.Label)
+}
+
+func (l *logReporter) PointDone(j Job, load float64, res *netsim.Result) {
+	fmt.Fprintf(l.w, "point %s load=%.4f accepted=%.5f latency=%.0fns\n",
+		j.Label, load, res.Accepted, res.AvgLatencyNs)
+}
+
+func (l *logReporter) JobDone(cr *CurveResult) {
+	if cr.Err != nil {
+		fmt.Fprintf(l.w, "fail  %s: %v\n", cr.Job.Label, cr.Err)
+		return
+	}
+	fmt.Fprintf(l.w, "done  %s: %d points, table %.1fms, sim %.0fms\n",
+		cr.Job.Label, len(cr.Curve.Points),
+		float64(cr.TableBuild.Microseconds())/1000, float64(cr.Sim.Milliseconds()))
+}
+
+// JSON serialization of a report, the -json output of the experiment CLIs.
+
+type jsonReport struct {
+	Parallel    int         `json:"parallel"`
+	WallMs      float64     `json:"wall_ms"`
+	TableBuilds int64       `json:"table_builds"`
+	Curves      []jsonCurve `json:"curves"`
+}
+
+type jsonCurve struct {
+	Label        string      `json:"label"`
+	Scheme       string      `json:"scheme"`
+	Pattern      string      `json:"pattern"`
+	Replica      int         `json:"replica"`
+	TableBuildMs float64     `json:"table_build_ms"`
+	SimMs        float64     `json:"sim_ms"`
+	Error        string      `json:"error,omitempty"`
+	Points       []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	Load         float64 `json:"load"`
+	Accepted     float64 `json:"accepted"`
+	Injected     float64 `json:"injected"`
+	AvgLatencyNs float64 `json:"avg_latency_ns"`
+	P50Ns        float64 `json:"p50_ns"`
+	P95Ns        float64 `json:"p95_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	AvgITBs      float64 `json:"avg_itbs"`
+	Delivered    int64   `json:"delivered"`
+	Cycles       int64   `json:"cycles"`
+	Truncated    bool    `json:"truncated,omitempty"`
+}
+
+// WriteJSON emits the report — curves, per-job timing, wall clock — as
+// indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Parallel:    r.Parallel,
+		WallMs:      float64(r.Wall.Microseconds()) / 1000,
+		TableBuilds: r.TableBuilds,
+	}
+	for i := range r.Curves {
+		cr := &r.Curves[i]
+		jc := jsonCurve{
+			Label:        cr.Job.Label,
+			Scheme:       cr.Job.Scheme.String(),
+			Pattern:      cr.Job.Pattern.String(),
+			Replica:      cr.Job.Replica,
+			TableBuildMs: float64(cr.TableBuild.Microseconds()) / 1000,
+			SimMs:        float64(cr.Sim.Microseconds()) / 1000,
+		}
+		if cr.Err != nil {
+			jc.Error = cr.Err.Error()
+		}
+		for _, p := range cr.Curve.Points {
+			if p.Result == nil {
+				continue
+			}
+			jc.Points = append(jc.Points, jsonPoint{
+				Load:         p.Load,
+				Accepted:     p.Result.Accepted,
+				Injected:     p.Result.Injected,
+				AvgLatencyNs: p.Result.AvgLatencyNs,
+				P50Ns:        p.Result.LatencyP50Ns,
+				P95Ns:        p.Result.LatencyP95Ns,
+				P99Ns:        p.Result.LatencyP99Ns,
+				AvgITBs:      p.Result.AvgITBsPerMessage,
+				Delivered:    p.Result.DeliveredMeasured,
+				Cycles:       p.Result.Cycles,
+				Truncated:    p.Result.Truncated,
+			})
+		}
+		out.Curves = append(out.Curves, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,364 @@
+// Package runner is the parallel experiment engine behind the public
+// RunSpec API: it expands a declarative Spec into independent curve jobs
+// (scheme × pattern × replica), executes them on a worker pool, memoizes
+// routing-table construction in a shared cache, and streams progress and
+// per-job timing to a pluggable Reporter.
+//
+// Parallelism is across curves, not within one. The saturation early stop
+// makes the load points of one curve sequentially dependent — whether
+// point i+2 runs depends on what point i measured — so each job walks its
+// load grid in order while independent curves run concurrently.
+//
+// Results are byte-identical at every worker count: each simulation's seed
+// is derived (splitmix64, see DeriveSeed) from the root seed and the job's
+// stable coordinates alone, never from scheduling order, and the simulator
+// itself is single-threaded per job.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"itbsim/internal/netsim"
+	"itbsim/internal/routes"
+	"itbsim/internal/stats"
+	"itbsim/internal/topology"
+)
+
+// Spec declares a grid of latency/traffic sweeps. The zero value of every
+// optional field means "use the default"; Net plus either (Schemes or
+// Table) plus either (Patterns or Dest) plus Loads are required.
+//
+// Spec is also the public itbsim.RunSpec (and the former itbsim.SweepConfig,
+// whose single-curve fields Table/Dest/Label it subsumes).
+type Spec struct {
+	// Net is the network every job simulates. Required.
+	Net *topology.Network
+
+	// Schemes lists the routing schemes to sweep; each becomes one curve
+	// per pattern and replica, with its table built through the cache.
+	Schemes []routes.Scheme
+	// Table is the single-curve alternative to Schemes: a prebuilt routing
+	// table (the runner clones it per load point). Set one or the other.
+	Table *routes.Table
+
+	// Patterns lists the traffic patterns to sweep.
+	Patterns []Pattern
+	// Dest is the single-pattern alternative to Patterns: an explicit
+	// destination chooser. Set one or the other.
+	Dest netsim.DestFn
+
+	// Replicas repeats every (scheme, pattern) curve with independent
+	// seed streams, for confidence intervals. Default 1.
+	Replicas int
+
+	// Loads are the injection rates to visit, ascending, in
+	// flits/ns/switch. Each curve stops PointsPastSaturation points after
+	// accepted traffic first drops below SaturationRatio × injected.
+	Loads []float64
+
+	MessageBytes    int
+	Seed            int64
+	WarmupMessages  int
+	MeasureMessages int
+	MaxCycles       int64
+
+	// Label prefixes every curve label; a single-curve spec (Table + Dest)
+	// uses it verbatim, preserving the historic SweepConfig behaviour.
+	Label string
+
+	// SaturationRatio is the accepted/injected ratio below which a point
+	// counts as saturated. Default 0.92, the threshold of §4.7.
+	SaturationRatio float64
+	// PointsPastSaturation is how many further load points each curve
+	// visits once saturated, to resolve the post-knee shape. Default 1;
+	// -1 stops at the first saturated point.
+	PointsPastSaturation int
+
+	// RouteConfig maps a scheme to its table-construction config; default
+	// routes.DefaultConfig (root 0, 10 alternatives).
+	RouteConfig func(routes.Scheme) routes.Config
+
+	// CollectLinkUtil enables per-channel utilization accounting on every
+	// point (figures 8, 9, 11).
+	CollectLinkUtil bool
+
+	// Params overrides the Myrinet timing constants; zero means defaults.
+	Params netsim.Params
+
+	// Parallel is the worker-goroutine count; 0 means GOMAXPROCS.
+	Parallel int
+	// Context cancels in-flight simulations between cycles and skips
+	// not-yet-started points; nil means context.Background().
+	Context context.Context
+	// Reporter observes job and point completion. The runner serializes
+	// calls, so implementations need not be thread-safe.
+	Reporter Reporter
+	// Cache memoizes table construction; nil means a private per-Run
+	// cache. Share one across Runs on the same network to reuse builds.
+	Cache *TableCache
+}
+
+// Job identifies one curve of a Spec expansion.
+type Job struct {
+	// Index is the job's dense position in expansion order (scheme-major,
+	// then pattern, then replica).
+	Index      int
+	SchemeIdx  int
+	PatternIdx int
+	Replica    int
+
+	Scheme  routes.Scheme
+	Pattern Pattern
+	Label   string
+
+	// table is the explicit Spec.Table for single-curve specs; grid jobs
+	// resolve theirs through the cache.
+	table *routes.Table
+}
+
+// CurveResult is one finished job: its curve plus timing and any error.
+type CurveResult struct {
+	Job   Job
+	Curve stats.Curve
+	// TableBuild is the time this job spent obtaining its routing table —
+	// near zero when another job already built it into the cache.
+	TableBuild time.Duration
+	// Sim is the wall time of the job's load walk.
+	Sim time.Duration
+	Err error
+}
+
+// Report is the outcome of a Run: every curve in expansion order, plus
+// wall-clock and worker accounting.
+type Report struct {
+	Curves   []CurveResult
+	Wall     time.Duration
+	Parallel int
+	// TableBuilds is how many routing tables were constructed (as opposed
+	// to served from cache) during the run.
+	TableBuilds int64
+}
+
+// normalized validates the spec, fills defaults, and expands the job grid.
+func (s Spec) normalized() (Spec, []Job, error) {
+	if s.Net == nil {
+		return s, nil, fmt.Errorf("runner: Spec.Net is required")
+	}
+	if len(s.Loads) == 0 {
+		return s, nil, fmt.Errorf("runner: Spec needs at least one load")
+	}
+	if s.Table != nil && len(s.Schemes) > 0 {
+		return s, nil, fmt.Errorf("runner: set Spec.Table or Spec.Schemes, not both")
+	}
+	if s.Dest != nil && len(s.Patterns) > 0 {
+		return s, nil, fmt.Errorf("runner: set Spec.Dest or Spec.Patterns, not both")
+	}
+	single := false // single-curve compatibility form: label used verbatim
+	schemes := s.Schemes
+	if len(schemes) == 0 {
+		if s.Table == nil {
+			return s, nil, fmt.Errorf("runner: Spec needs Schemes or a prebuilt Table")
+		}
+		schemes = []routes.Scheme{s.Table.Scheme}
+		single = true
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		if s.Dest == nil {
+			return s, nil, fmt.Errorf("runner: Spec needs Patterns or a Dest function")
+		}
+		patterns = []Pattern{{Kind: "custom", Custom: s.Dest}}
+	} else {
+		single = false
+	}
+	if s.Replicas < 1 {
+		s.Replicas = 1
+	}
+	if s.Parallel < 1 {
+		s.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if s.Context == nil {
+		s.Context = context.Background()
+	}
+	if s.Cache == nil {
+		s.Cache = NewTableCache()
+	}
+	if s.RouteConfig == nil {
+		s.RouteConfig = routes.DefaultConfig
+	}
+	if s.SaturationRatio <= 0 {
+		s.SaturationRatio = 0.92
+	}
+	switch {
+	case s.PointsPastSaturation == 0:
+		s.PointsPastSaturation = 1
+	case s.PointsPastSaturation < 0:
+		s.PointsPastSaturation = 0
+	}
+
+	jobs := make([]Job, 0, len(schemes)*len(patterns)*s.Replicas)
+	for si, sch := range schemes {
+		for pi, pat := range patterns {
+			for r := 0; r < s.Replicas; r++ {
+				j := Job{
+					Index:      len(jobs),
+					SchemeIdx:  si,
+					PatternIdx: pi,
+					Replica:    r,
+					Scheme:     sch,
+					Pattern:    pat,
+				}
+				if single && s.Replicas == 1 {
+					j.Label = s.Label
+					j.table = s.Table
+				} else {
+					parts := []string{}
+					if s.Label != "" {
+						parts = append(parts, s.Label)
+					}
+					parts = append(parts, sch.String(), pat.String())
+					if s.Replicas > 1 {
+						parts = append(parts, fmt.Sprintf("r%d", r))
+					}
+					j.Label = strings.Join(parts, " ")
+					j.table = s.Table
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return s, jobs, nil
+}
+
+// PointSeed is the per-point seed derivation of a Run: root seed mixed
+// with the job's stable coordinates (scheme, pattern, replica, load-point
+// index). It is exported so harnesses running points outside a Run — the
+// bisection refinement of SaturationSearch, ad-hoc reproduction of a
+// single curve point — draw exactly the streams the runner would.
+func PointSeed(root int64, scheme routes.Scheme, p Pattern, replica, point int) int64 {
+	return DeriveSeed(root, int64(scheme), p.salt(), int64(replica), int64(point))
+}
+
+// pointSeed derives the simulation seed of one load point from stable job
+// coordinates, independent of worker count and scheduling order.
+func (s *Spec) pointSeed(j Job, point int) int64 {
+	return PointSeed(s.Seed, j.Scheme, j.Pattern, j.Replica, point)
+}
+
+// Run expands the spec and executes its jobs on the worker pool. The
+// returned report holds every curve in expansion order; the error is the
+// first job error (by job index), if any — the report is still returned
+// alongside it so completed curves are not lost.
+func Run(spec Spec) (*Report, error) {
+	ns, jobs, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Curves: make([]CurveResult, len(jobs)), Parallel: ns.Parallel}
+	reporter := newLockedReporter(ns.Reporter)
+
+	buildsBefore := ns.Cache.Builds()
+	start := time.Now()
+	workers := ns.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				// Workers write disjoint slots, so no lock is needed.
+				rep.Curves[j.Index] = ns.runJob(j, reporter)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	rep.TableBuilds = ns.Cache.Builds() - buildsBefore
+
+	for i := range rep.Curves {
+		if jerr := rep.Curves[i].Err; jerr != nil {
+			return rep, fmt.Errorf("runner: job %d (%s): %w", i, rep.Curves[i].Job.Label, jerr)
+		}
+	}
+	return rep, nil
+}
+
+// runJob walks one curve's load grid in order, early-stopping past
+// saturation.
+func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
+	cr := CurveResult{Job: j}
+	cr.Curve.Label = j.Label
+	reporter.jobStarted(j)
+	defer func() { reporter.jobDone(&cr) }()
+
+	buildStart := time.Now()
+	table := j.table
+	if table == nil {
+		var err error
+		table, err = s.Cache.Get(s.Net, s.RouteConfig(j.Scheme))
+		if err != nil {
+			cr.Err = err
+			return cr
+		}
+	}
+	cr.TableBuild = time.Since(buildStart)
+
+	dest, err := j.Pattern.DestFn(s.Net)
+	if err != nil {
+		cr.Err = err
+		return cr
+	}
+
+	simStart := time.Now()
+	defer func() { cr.Sim = time.Since(simStart) }()
+	countdown := -1 // points left after saturation; -1 = not yet saturated
+	for i, load := range s.Loads {
+		if err := s.Context.Err(); err != nil {
+			cr.Err = err
+			return cr
+		}
+		res, err := netsim.RunContext(s.Context, netsim.Config{
+			Net:             s.Net,
+			Table:           table.Clone(),
+			Dest:            dest,
+			Load:            load,
+			MessageBytes:    s.MessageBytes,
+			Seed:            s.pointSeed(j, i),
+			WarmupMessages:  s.WarmupMessages,
+			MeasureMessages: s.MeasureMessages,
+			MaxCycles:       s.MaxCycles,
+			CollectLinkUtil: s.CollectLinkUtil,
+			Params:          s.Params,
+		})
+		if err != nil {
+			cr.Err = fmt.Errorf("load %g: %w", load, err)
+			return cr
+		}
+		cr.Curve.Points = append(cr.Curve.Points, stats.SweepPoint{Load: load, Result: res})
+		reporter.pointDone(j, load, res)
+		if countdown < 0 {
+			if res.Accepted < s.SaturationRatio*res.Injected {
+				countdown = s.PointsPastSaturation
+			}
+		} else {
+			countdown--
+		}
+		if countdown == 0 {
+			break
+		}
+	}
+	return cr
+}

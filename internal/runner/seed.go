@@ -1,0 +1,42 @@
+package runner
+
+// Seed derivation for parallel experiments. Every simulation seed is
+// computed from the root seed plus the job's stable coordinates (scheme,
+// pattern, replica, load-point index), never from execution order, so a
+// spec produces byte-identical results at any worker count. The mixer is
+// splitmix64 (Steele, Lea & Flood, OOPSLA 2014), whose full-avalanche
+// finalizer decorrelates adjacent inputs — unlike the previous
+// `seed + i*101` scheme, which handed adjacent load points linearly
+// related PRNG streams.
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15 // 2^64 / golden ratio
+	mixA          = 0xbf58476d1ce4e5b9
+	mixB          = 0x94d049bb133111eb
+)
+
+// splitmix64 advances a splitmix64 state by gamma and returns the mixed
+// output for the new state.
+func splitmix64(state uint64) uint64 {
+	z := state + splitmixGamma
+	z = (z ^ (z >> 30)) * mixA
+	z = (z ^ (z >> 27)) * mixB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed derives an independent child seed from a root seed and a
+// coordinate path, e.g. DeriveSeed(root, schemeSalt, patternSalt, replica,
+// point). The derivation is order-sensitive — DeriveSeed(r, 1, 2) and
+// DeriveSeed(r, 2, 1) differ — and collision-resistant in practice over
+// experiment-sized coordinate grids.
+func DeriveSeed(root int64, coords ...int64) int64 {
+	x := splitmix64(uint64(root))
+	for _, c := range coords {
+		// Fold each coordinate in with its own avalanche round so that
+		// small coordinate deltas flip about half the state bits. The
+		// accumulator gets an extra round before the XOR, keeping the fold
+		// asymmetric: swapping root and coordinate changes the result.
+		x = splitmix64(splitmix64(x) ^ splitmix64(uint64(c)))
+	}
+	return int64(x)
+}

@@ -1,0 +1,66 @@
+package runner
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(1, 2, 3, 4)
+	b := DeriveSeed(1, 2, 3, 4)
+	if a != b {
+		t.Fatalf("DeriveSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedOrderSensitive(t *testing.T) {
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Error("coordinate order ignored")
+	}
+	if DeriveSeed(1, 2) == DeriveSeed(2, 1) {
+		t.Error("root and coordinate interchangeable")
+	}
+}
+
+// TestDeriveSeedNoCollisions: experiment-sized coordinate grids must not
+// collide — 10 schemes × 50 patterns × 5 replicas × 20 points per root.
+func TestDeriveSeedNoCollisions(t *testing.T) {
+	seen := make(map[int64][4]int64)
+	for s := int64(0); s < 10; s++ {
+		for p := int64(0); p < 50; p++ {
+			for r := int64(0); r < 5; r++ {
+				for i := int64(0); i < 20; i++ {
+					seed := DeriveSeed(1, s, p, r, i)
+					if prev, ok := seen[seed]; ok {
+						t.Fatalf("collision: %v and %v both derive %d", prev, [4]int64{s, p, r, i}, seed)
+					}
+					seen[seed] = [4]int64{s, p, r, i}
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveSeedDecorrelatesAdjacent: unlike seed+i*101, adjacent
+// coordinates must produce seeds that differ in roughly half their bits.
+func TestDeriveSeedDecorrelatesAdjacent(t *testing.T) {
+	popcount := func(x uint64) int {
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+	low, high := 0, 0
+	for i := int64(0); i < 100; i++ {
+		a := uint64(DeriveSeed(7, i))
+		b := uint64(DeriveSeed(7, i+1))
+		d := popcount(a ^ b)
+		if d < 16 {
+			low++
+		}
+		if d > 48 {
+			high++
+		}
+	}
+	if low > 0 || high > 0 {
+		t.Errorf("adjacent seeds poorly mixed: %d pairs <16 flipped bits, %d pairs >48", low, high)
+	}
+}

@@ -1,0 +1,176 @@
+package itbsim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"itbsim"
+)
+
+// TestRunSpecGrid drives the declarative public API end to end: a
+// schemes × patterns grid expands into jobs, shares one table build per
+// scheme, and reports curves in expansion order.
+func TestRunSpecGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net, err := itbsim.NewTorus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := itbsim.NewTableCache()
+	spec := itbsim.RunSpec{
+		Net:     net,
+		Schemes: []itbsim.Scheme{itbsim.UpDown, itbsim.ITBRR},
+		Patterns: []itbsim.Pattern{
+			{Kind: "uniform"},
+			{Kind: "local", LocalRadius: 2},
+		},
+		Loads:           []float64{0.02, 0.04},
+		MessageBytes:    128,
+		Seed:            7,
+		WarmupMessages:  50,
+		MeasureMessages: 150,
+		Cache:           cache,
+		Label:           "grid",
+	}
+	rep, err := itbsim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Curves) != 4 {
+		t.Fatalf("2 schemes × 2 patterns should yield 4 curves, got %d", len(rep.Curves))
+	}
+	if cache.Builds() != 2 {
+		t.Errorf("built %d tables for 2 schemes, want 2", cache.Builds())
+	}
+	if got := rep.Curves[0].Curve.Label; got != "grid UP/DOWN uniform" {
+		t.Errorf("first curve label = %q", got)
+	}
+	for i := range rep.Curves {
+		cr := &rep.Curves[i]
+		if len(cr.Curve.Points) == 0 {
+			t.Errorf("curve %d (%s) is empty", i, cr.Job.Label)
+			continue
+		}
+		if cr.Curve.Points[0].Result.Accepted <= 0 {
+			t.Errorf("curve %d (%s): degenerate first point", i, cr.Job.Label)
+		}
+	}
+
+	// The report serializes as JSON with one entry per curve.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Parallel int `json:"parallel"`
+		Curves   []struct {
+			Scheme string `json:"scheme"`
+			Points []struct {
+				Accepted float64 `json:"accepted"`
+			} `json:"points"`
+		} `json:"curves"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if len(decoded.Curves) != 4 || decoded.Curves[0].Scheme != "UP/DOWN" {
+		t.Errorf("JSON report malformed: %+v", decoded)
+	}
+}
+
+// TestRunSpecDeterministicReplicas: replicas draw independent streams but
+// the whole run is reproducible, and parallelism does not change values.
+func TestRunSpecDeterministicReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net, err := itbsim.NewTorus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := func(parallel int) itbsim.RunSpec {
+		return itbsim.RunSpec{
+			Net:             net,
+			Schemes:         []itbsim.Scheme{itbsim.ITBRR},
+			Patterns:        []itbsim.Pattern{{Kind: "uniform"}},
+			Replicas:        3,
+			Loads:           []float64{0.03},
+			MessageBytes:    128,
+			Seed:            1,
+			WarmupMessages:  50,
+			MeasureMessages: 150,
+			Parallel:        parallel,
+		}
+	}
+	seq, err := itbsim.Run(spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := itbsim.Run(spec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Curves) != 3 {
+		t.Fatalf("3 replicas should yield 3 curves, got %d", len(seq.Curves))
+	}
+	for i := range seq.Curves {
+		if !reflect.DeepEqual(seq.Curves[i].Curve, par.Curves[i].Curve) {
+			t.Errorf("replica %d differs between parallel=1 and parallel=4", i)
+		}
+	}
+	a := seq.Curves[0].Curve.Points[0].Result.AvgLatencyNs
+	b := seq.Curves[1].Curve.Points[0].Result.AvgLatencyNs
+	if a == b {
+		t.Error("replicas produced identical latencies; seed streams not independent")
+	}
+	if !strings.Contains(seq.Curves[1].Curve.Label, "r1") {
+		t.Errorf("replica label = %q", seq.Curves[1].Curve.Label)
+	}
+}
+
+// TestSimulateContext: the public cancellable entry point.
+func TestSimulateContext(t *testing.T) {
+	net, err := itbsim.NewTorus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := itbsim.BuildRoutes(net, itbsim.ITBRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := itbsim.Uniform(net.NumHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := itbsim.SimConfig{
+		Net: net, Table: tab, Dest: dest,
+		Load: 0.01, MessageBytes: 128, Seed: 1,
+		WarmupMessages: 10, MeasureMessages: 50,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := itbsim.SimulateContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SimulateContext returned %v", err)
+	}
+	res, err := itbsim.SimulateContext(context.Background(), cfg)
+	if err != nil || res.Accepted <= 0 {
+		t.Fatalf("SimulateContext = %+v, %v", res, err)
+	}
+}
+
+// TestDeriveSeedExported: facade passthrough.
+func TestDeriveSeedExported(t *testing.T) {
+	if itbsim.DeriveSeed(1, 2) == itbsim.DeriveSeed(1, 3) {
+		t.Error("coordinates ignored")
+	}
+	if itbsim.DeriveSeed(1, 2) != itbsim.DeriveSeed(1, 2) {
+		t.Error("not deterministic")
+	}
+}
