@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: all build vet test race race-determinism bench clean
+.PHONY: all build vet test docs race race-determinism bench clean
 
-all: build vet test
+all: build vet test docs
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Documentation hygiene: every relative markdown link/anchor resolves
+# (cmd/mdlint), the tree is gofmt-clean, and vet passes.
+docs: vet
+	$(GO) run ./cmd/mdlint .
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	$(GO) test ./...

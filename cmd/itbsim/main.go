@@ -2,7 +2,9 @@
 // measurements: latency, accepted traffic, ITB usage and pool statistics.
 // -scheme accepts a comma-separated list; the schemes run as independent
 // jobs on the experiment runner (-parallel N workers), and -json replaces
-// the text output with the full report as JSON.
+// the text output with the full report as JSON. -metrics <file> collects
+// windowed per-link/switch/host telemetry and writes it in the schema of
+// docs/METRICS.md (.csv for CSV, anything else JSON).
 //
 // Examples:
 //
@@ -18,6 +20,7 @@ import (
 
 	"itbsim/internal/cli"
 	"itbsim/internal/experiments"
+	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 	"itbsim/internal/runner"
 )
@@ -56,9 +59,18 @@ func main() {
 			log.Fatal("-trace requires a single -scheme")
 		}
 		tracer := netsim.NewRingTracer(*trace)
-		res, err := experiments.RunOneTraced(env, schemes[0], pat, *load, *common.Bytes, *common.Seed, *util, tracer)
+		res, err := experiments.RunOnePoint(env, schemes[0], pat, *load, *common.Bytes, *common.Seed,
+			experiments.PointOptions{CollectLinkUtil: *util, Metrics: run.Options().Metrics, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *run.Metrics != "" {
+			pt := metrics.ExportPoint{Label: schemes[0].String(), Scheme: schemes[0].String(),
+				Pattern: pat.String(), Load: *load, Metrics: res.Metrics}
+			if err := cli.WriteMetricsFile(*run.Metrics, []metrics.ExportPoint{pt}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("# wrote telemetry to %s\n", *run.Metrics)
 		}
 		printPoint(env, schemes[0].String(), pat, *load, *common.Bytes, res, *util)
 		fmt.Printf("last %d of %d traced events:\n", len(tracer.Events()), tracer.Total())
@@ -75,11 +87,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mfile, err := run.WriteMetrics(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *run.JSON {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if mfile != "" {
+		fmt.Printf("# wrote telemetry to %s\n", mfile)
 	}
 	for i := range rep.Curves {
 		cr := &rep.Curves[i]

@@ -1,0 +1,203 @@
+// Command mdlint checks the repository's markdown files for broken
+// relative links and heading anchors, stdlib only. It is the docs
+// counterpart of go vet: `make docs` runs it over every tracked .md file
+// so a renamed file or section breaks the build instead of the reader.
+//
+// Checked per link ([text](target) and ![alt](target) forms, outside code
+// fences and inline code spans):
+//
+//   - relative file targets must exist on disk (resolved against the
+//     linking file's directory; absolute URLs and mailto: are skipped);
+//   - fragment targets (#section, FILE.md#section) must match a heading
+//     in the target markdown file, using GitHub's slug rules (lowercase,
+//     punctuation dropped, spaces to hyphens, -N suffix on duplicates).
+//
+// Usage: mdlint [path ...] — paths are files or directories (walked for
+// *.md, skipping dot-directories); default is the current directory.
+// Exits 1 if any problem is found, listing each as file:line: message.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		info, err := os.Stat(root)
+		if err != nil {
+			fatal(err)
+		}
+		if !info.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() && strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			if !d.IsDir() && strings.HasSuffix(name, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	problems := 0
+	anchors := map[string]map[string]bool{} // md path -> set of heading slugs
+	for _, f := range files {
+		for _, p := range checkFile(f, anchors) {
+			fmt.Fprintln(os.Stderr, p)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d problem(s) in %d file(s) checked\n", problems, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("mdlint: %d markdown file(s) ok\n", len(files))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdlint:", err)
+	os.Exit(1)
+}
+
+// linkRe matches inline links and images: [text](target) with an optional
+// quoted title. The target capture stops at whitespace or the closing paren.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// codeSpanRe strips `inline code` so example links inside it are ignored.
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+func checkFile(path string, anchors map[string]map[string]bool) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(codeSpanRe.ReplaceAllString(line, ""), -1) {
+			if p := checkLink(path, m[1], anchors); p != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, i+1, p))
+			}
+		}
+	}
+	return problems
+}
+
+func checkLink(from, target string, anchors map[string]map[string]bool) string {
+	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+		return "" // external (https:, mailto:, ...) — existence not checked
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(from), file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors into non-markdown files are a renderer concern
+	}
+	set, err := headingSlugs(resolved, anchors)
+	if err != nil {
+		return fmt.Sprintf("broken anchor %q: %v", target, err)
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken anchor %q: no heading in %s slugs to %q", target, resolved, frag)
+	}
+	return ""
+}
+
+func headingSlugs(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && text[0] != ' ') {
+			continue // not a heading (e.g. "#include" or no space after #)
+		}
+		base := slug(strings.TrimSpace(text))
+		// GitHub disambiguates repeated headings with -1, -2, ...
+		s := base
+		for n := 1; set[s]; n++ {
+			s = fmt.Sprintf("%s-%d", base, n)
+		}
+		set[s] = true
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// slug reproduces GitHub's heading-to-anchor transformation closely enough
+// for intra-repo links: markdown escapes, emphasis, and code markers are
+// dropped, link text survives without its URL, then lowercase, punctuation
+// removed, spaces to hyphens.
+func slug(heading string) string {
+	heading = strings.ReplaceAll(heading, "\\", "")
+	heading = strings.ReplaceAll(heading, "`", "")
+	heading = linkRe.ReplaceAllStringFunc(heading, func(m string) string {
+		open := strings.Index(m, "[")
+		close := strings.Index(m, "]")
+		return m[open+1 : close]
+	})
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -8,6 +8,9 @@
 // runner: -parallel N spreads them over N workers, -progress streams
 // per-point progress to stderr, and -json replaces the text output with
 // the full report (curves, per-job timing, wall clock) as JSON.
+// -metrics <file> additionally collects windowed per-link/switch/host
+// telemetry on every point and writes it in the schema of docs/METRICS.md
+// (.csv for CSV, anything else JSON).
 //
 // Examples:
 //
@@ -67,6 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mfile, err := run.WriteMetrics(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *run.JSON {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -80,6 +87,9 @@ func main() {
 	fmt.Printf("# %s %s %s, %d-byte messages, seed %d (%d workers, %.1fs)\n",
 		env.Topo, env.Scale, pat, *common.Bytes, *common.Seed, rep.Parallel, rep.Wall.Seconds())
 	fmt.Print(cs.String())
+	if mfile != "" {
+		fmt.Printf("# wrote telemetry to %s\n", mfile)
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

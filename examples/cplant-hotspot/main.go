@@ -3,6 +3,9 @@
 // host, compare the saturation throughput of the original Myrinet routing
 // against in-transit buffers with round-robin path selection.
 //
+// Both scheme curves run from one RunSpec grid with a declarative hotspot
+// pattern; the runner handles table construction and the load walk.
+//
 //	go run ./examples/cplant-hotspot
 package main
 
@@ -21,29 +24,28 @@ func main() {
 	fmt.Println(net)
 
 	const hotspotHost = 42
-	dest, err := itbsim.Hotspot(net.NumHosts(), hotspotHost, 0.05)
+	loads := []float64{0.01, 0.02, 0.035, 0.05, 0.065, 0.08, 0.095, 0.11}
+
+	rep, err := itbsim.Run(itbsim.RunSpec{
+		Net:     net,
+		Schemes: []itbsim.Scheme{itbsim.UpDown, itbsim.ITBRR},
+		Patterns: []itbsim.Pattern{
+			{Kind: "hotspot", HotspotHost: hotspotHost, HotspotFraction: 0.05},
+		},
+		Loads: loads, MessageBytes: 512, Seed: 1,
+		WarmupMessages: 100, MeasureMessages: 600,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	loads := []float64{0.01, 0.02, 0.035, 0.05, 0.065, 0.08, 0.095, 0.11}
 
 	sat := map[itbsim.Scheme]float64{}
-	for _, scheme := range []itbsim.Scheme{itbsim.UpDown, itbsim.ITBRR} {
-		table, err := itbsim.BuildRoutes(net, scheme)
-		if err != nil {
-			log.Fatal(err)
+	for _, cr := range rep.Curves {
+		if cr.Err != nil {
+			log.Fatal(cr.Err)
 		}
-		curve, err := itbsim.Sweep(itbsim.SweepConfig{
-			Net: net, Table: table, Dest: dest,
-			Loads: loads, MessageBytes: 512, Seed: 1,
-			WarmupMessages: 100, MeasureMessages: 600,
-			Label: scheme.String(),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		sat[scheme] = curve.SaturationThroughput()
-		fmt.Printf("%-8s saturation: %.4f flits/ns/switch\n", scheme, sat[scheme])
+		sat[cr.Job.Scheme] = cr.Curve.SaturationThroughput()
+		fmt.Printf("%-8s saturation: %.4f flits/ns/switch\n", cr.Job.Scheme, sat[cr.Job.Scheme])
 	}
 	fmt.Printf("ITB-RR / UP-DOWN throughput ratio: %.2fx (paper, table 3: 1.32x)\n",
 		sat[itbsim.ITBRR]/sat[itbsim.UpDown])

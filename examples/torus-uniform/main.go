@@ -5,6 +5,9 @@
 // buffer mechanism doubles UP/DOWN throughput; at this 4x4 scale the gap is
 // smaller but ITB-RR still wins.
 //
+// The three scheme curves are declared as one RunSpec grid: the runner
+// builds each routing table once and can walk the curves in parallel.
+//
 //	go run ./examples/torus-uniform
 package main
 
@@ -20,29 +23,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dest, err := itbsim.Uniform(net.NumHosts())
+	loads := []float64{0.01, 0.025, 0.04, 0.055, 0.07, 0.085, 0.1, 0.115}
+
+	rep, err := itbsim.Run(itbsim.RunSpec{
+		Net:      net,
+		Schemes:  []itbsim.Scheme{itbsim.UpDown, itbsim.ITBSP, itbsim.ITBRR},
+		Patterns: []itbsim.Pattern{{Kind: "uniform"}},
+		Loads:    loads, MessageBytes: 512, Seed: 1,
+		WarmupMessages: 100, MeasureMessages: 600,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	loads := []float64{0.01, 0.025, 0.04, 0.055, 0.07, 0.085, 0.1, 0.115}
 
 	fmt.Println("scheme    saturation(flits/ns/switch)   zero-load latency(ns)")
-	for _, scheme := range []itbsim.Scheme{itbsim.UpDown, itbsim.ITBSP, itbsim.ITBRR} {
-		table, err := itbsim.BuildRoutes(net, scheme)
-		if err != nil {
-			log.Fatal(err)
-		}
-		curve, err := itbsim.Sweep(itbsim.SweepConfig{
-			Net: net, Table: table, Dest: dest,
-			Loads: loads, MessageBytes: 512, Seed: 1,
-			WarmupMessages: 100, MeasureMessages: 600,
-			Label: scheme.String(),
-		})
-		if err != nil {
-			log.Fatal(err)
+	for _, cr := range rep.Curves {
+		if cr.Err != nil {
+			log.Fatal(cr.Err)
 		}
 		fmt.Printf("%-9s %8.4f %29.0f\n",
-			scheme, curve.SaturationThroughput(), curve.Points[0].Result.AvgLatencyNs)
-		fmt.Print(curve.Table())
+			cr.Job.Scheme, cr.Curve.SaturationThroughput(), cr.Curve.Points[0].Result.AvgLatencyNs)
+		fmt.Print(cr.Curve.Table())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 	"itbsim/internal/runner"
 	"itbsim/internal/stats"
@@ -109,4 +110,34 @@ func DeriveSeed(root int64, coords ...int64) int64 {
 // the up*/down* root (switch 0 by default in this library).
 func AnalyzeLinkUtil(net *Network, linkBusy []float64, root, topN int) LinkUtilReport {
 	return stats.AnalyzeLinkUtil(net, linkBusy, root, topN)
+}
+
+// MetricsConfig enables and tunes the windowed observability collector:
+// set RunSpec.Metrics (or SimConfig.Metrics) to a non-nil value to collect
+// per-link utilization series, switch buffer occupancy, and per-host
+// ITB/backpressure telemetry. The zero value uses the default window.
+type MetricsConfig = metrics.Config
+
+// Metrics is one run's (or one aggregated cell's) frozen telemetry; the
+// schema is documented field by field in docs/METRICS.md.
+type Metrics = metrics.Metrics
+
+// LatencyHistogram is a streaming log-bucketed histogram with ≤6.3%
+// relative bucket error; every Result's latency percentiles come from one.
+type LatencyHistogram = metrics.Histogram
+
+// MetricsPoint labels one Metrics with its experimental coordinates for
+// export via WriteMetricsJSON/WriteMetricsCSV.
+type MetricsPoint = metrics.ExportPoint
+
+// WriteMetricsJSON writes telemetry export points as one JSON document
+// (schema in docs/METRICS.md). Collect them from RunReport.MetricsPoints.
+func WriteMetricsJSON(w io.Writer, points []MetricsPoint) error {
+	return metrics.WriteJSON(w, points)
+}
+
+// WriteMetricsCSV writes telemetry export points as one long-format CSV
+// table (schema in docs/METRICS.md).
+func WriteMetricsCSV(w io.Writer, points []MetricsPoint) error {
+	return metrics.WriteCSV(w, points)
 }

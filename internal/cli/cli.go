@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"itbsim/internal/experiments"
+	"itbsim/internal/metrics"
 	"itbsim/internal/routes"
 	"itbsim/internal/runner"
 )
@@ -86,6 +87,7 @@ type Run struct {
 	Parallel *int
 	JSON     *bool
 	Progress *bool
+	Metrics  *string
 }
 
 // AddRun registers the runner flags on a FlagSet.
@@ -94,14 +96,47 @@ func AddRun(fs *flag.FlagSet) *Run {
 		Parallel: fs.Int("parallel", 0, "worker goroutines for independent curves (0 = GOMAXPROCS)"),
 		JSON:     fs.Bool("json", false, "emit the full report as JSON on stdout"),
 		Progress: fs.Bool("progress", false, "stream per-job progress to stderr"),
+		Metrics: fs.String("metrics", "",
+			"collect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)"),
 	}
 }
 
-// Options assembles the harness run options from the flags.
+// Options assembles the harness run options from the flags. Setting
+// -metrics turns the observability collector on for every point.
 func (r *Run) Options() experiments.RunOptions {
 	opt := experiments.RunOptions{Parallel: *r.Parallel}
 	if *r.Progress {
 		opt.Reporter = runner.NewLogReporter(os.Stderr)
 	}
+	if *r.Metrics != "" {
+		opt.Metrics = &metrics.Config{}
+	}
 	return opt
+}
+
+// WriteMetrics exports a report's telemetry to the -metrics file (no-op
+// when the flag was not given) and returns the path written, if any.
+func (r *Run) WriteMetrics(rep *runner.Report) (string, error) {
+	path := *r.Metrics
+	if path == "" {
+		return "", nil
+	}
+	if err := WriteMetricsFile(path, rep.MetricsPoints()); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteMetricsFile writes telemetry export points to path, dispatching on
+// the extension (.csv for CSV, anything else JSON).
+func WriteMetricsFile(path string, points []metrics.ExportPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteFile(f, path, points); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

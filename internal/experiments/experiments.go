@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
 	"itbsim/internal/runner"
@@ -149,6 +150,10 @@ type RunOptions struct {
 	Parallel int
 	Context  context.Context
 	Reporter runner.Reporter
+	// Metrics enables the windowed observability collector on every point
+	// (see docs/METRICS.md); telemetry lands in each Result and in
+	// Report.MetricsPoints.
+	Metrics *metrics.Config
 }
 
 // SpecFor assembles the runner spec the harnesses share: the environment's
@@ -171,16 +176,30 @@ func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, m
 		Parallel:        opt.Parallel,
 		Context:         opt.Context,
 		Reporter:        opt.Reporter,
+		Metrics:         opt.Metrics,
 	}
+}
+
+// PointOptions tune a single direct simulation point (RunOnePoint): the
+// optional accounting and tracing attachments of netsim.Config.
+type PointOptions struct {
+	CollectLinkUtil bool
+	Metrics         *metrics.Config
+	Tracer          netsim.Tracer
 }
 
 // RunOne executes a single simulation point.
 func RunOne(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, collectUtil bool) (*netsim.Result, error) {
-	return RunOneTraced(e, scheme, p, load, msgBytes, seed, collectUtil, nil)
+	return RunOnePoint(e, scheme, p, load, msgBytes, seed, PointOptions{CollectLinkUtil: collectUtil})
 }
 
 // RunOneTraced is RunOne with an optional packet life-cycle tracer.
 func RunOneTraced(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, collectUtil bool, tracer netsim.Tracer) (*netsim.Result, error) {
+	return RunOnePoint(e, scheme, p, load, msgBytes, seed, PointOptions{CollectLinkUtil: collectUtil, Tracer: tracer})
+}
+
+// RunOnePoint executes a single simulation point with explicit options.
+func RunOnePoint(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, opt PointOptions) (*netsim.Result, error) {
 	tab, err := e.Table(scheme)
 	if err != nil {
 		return nil, err
@@ -200,8 +219,9 @@ func RunOneTraced(e *Env, scheme routes.Scheme, p Pattern, load float64, msgByte
 		WarmupMessages:  pre.Warmup,
 		MeasureMessages: pre.Measure,
 		MaxCycles:       pre.MaxCycles,
-		CollectLinkUtil: collectUtil,
-		Tracer:          tracer,
+		CollectLinkUtil: opt.CollectLinkUtil,
+		Metrics:         opt.Metrics,
+		Tracer:          opt.Tracer,
 	})
 }
 

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strings"
 
+	"itbsim/internal/metrics"
+	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
 	"itbsim/internal/runner"
 	"itbsim/internal/stats"
@@ -80,16 +82,27 @@ type LinkUtilResult struct {
 	Busy []float64
 	// Grid is a per-switch heat map for grid topologies; empty otherwise.
 	Grid string
+	// Result is the full simulation result behind the snapshot (including
+	// Result.Metrics when collection was requested).
+	Result *netsim.Result
 }
 
-// LinkUtilSnapshot runs one scheme at one load with per-channel accounting.
+// LinkUtilSnapshot runs one scheme at one load with per-channel accounting,
+// reporting the 10 hottest links.
 func LinkUtilSnapshot(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64) (LinkUtilResult, error) {
-	res, err := RunOne(e, scheme, p, load, msgBytes, seed, true)
+	return LinkUtilSnapshotN(e, scheme, p, load, msgBytes, seed, 10, nil)
+}
+
+// LinkUtilSnapshotN is LinkUtilSnapshot with an explicit hottest-link count
+// and optional windowed metrics collection (the collected telemetry lands
+// in Result.Metrics).
+func LinkUtilSnapshotN(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, topN int, mc *metrics.Config) (LinkUtilResult, error) {
+	res, err := RunOnePoint(e, scheme, p, load, msgBytes, seed, PointOptions{CollectLinkUtil: true, Metrics: mc})
 	if err != nil {
 		return LinkUtilResult{}, err
 	}
-	out := LinkUtilResult{Scheme: scheme, Load: load, Busy: res.LinkBusy}
-	out.Report = stats.AnalyzeLinkUtil(e.Net, res.LinkBusy, 0, 10)
+	out := LinkUtilResult{Scheme: scheme, Load: load, Busy: res.LinkBusy, Result: res}
+	out.Report = stats.AnalyzeLinkUtil(e.Net, res.LinkBusy, RootSwitch(e.Net), topN)
 	if rows, cols, ok := GridShape(e); ok {
 		out.Grid = stats.UtilGrid(e.Net, res.LinkBusy, rows, cols)
 	}

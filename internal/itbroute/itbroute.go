@@ -6,6 +6,13 @@
 // switch, completely ejected from the network, and re-injected as soon as
 // possible. Each subpath is a legal up*/down* path, so the composed route is
 // deadlock-free while always following a minimal path.
+//
+// The package is pure path computation: it produces candidate Splits (a
+// minimal path with its ITB placements) and leaves scheme assembly,
+// alternative selection, and table packaging to internal/routes. Each ITB
+// costs latency at its host — the simulator charges the detection and DMA
+// delays of netsim.Params — so Splits place breaks only where the
+// up*/down* rule forces one, keeping the ITB count minimal for the path.
 package itbroute
 
 import (

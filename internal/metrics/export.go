@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ExportPoint labels one Metrics with its experimental coordinates for
+// serialization: which curve (scheme × pattern), at which offered load.
+type ExportPoint struct {
+	Label   string   `json:"label"`
+	Scheme  string   `json:"scheme"`
+	Pattern string   `json:"pattern"`
+	Load    float64  `json:"load"`
+	Metrics *Metrics `json:"metrics"`
+}
+
+// jsonPoint adds the histogram export forms (the Histogram fields
+// themselves are not serialized directly).
+type jsonPoint struct {
+	ExportPoint
+	Latency    *HistogramExport `json:"latency_hist,omitempty"`
+	NetLatency *HistogramExport `json:"net_latency_hist,omitempty"`
+}
+
+type jsonDoc struct {
+	SchemaVersion int         `json:"schema_version"`
+	Points        []jsonPoint `json:"points"`
+}
+
+// WriteJSON emits the telemetry of the given points as one indented JSON
+// document. The schema is documented in docs/METRICS.md.
+func WriteJSON(w io.Writer, points []ExportPoint) error {
+	doc := jsonDoc{SchemaVersion: SchemaVersion}
+	for _, p := range points {
+		jp := jsonPoint{ExportPoint: p}
+		if p.Metrics != nil {
+			if p.Metrics.Latency != nil {
+				e := p.Metrics.Latency.Export()
+				jp.Latency = &e
+			}
+			if p.Metrics.NetLatency != nil {
+				e := p.Metrics.NetLatency.Export()
+				jp.NetLatency = &e
+			}
+		}
+		doc.Points = append(doc.Points, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// CSVHeader is the column set of the CSV telemetry export: a long-format
+// table with one row per scalar metric value. See docs/METRICS.md for the
+// record/field vocabulary.
+var CSVHeader = []string{"record", "label", "scheme", "pattern", "load", "id", "field", "value"}
+
+// WriteCSV emits the telemetry of the given points as one long-format CSV
+// table (columns CSVHeader, one row per scalar). The schema is documented
+// in docs/METRICS.md.
+func WriteCSV(w io.Writer, points []ExportPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	emit := func(p ExportPoint, record string, id int, field string, value string) error {
+		return cw.Write([]string{
+			record, p.Label, p.Scheme, p.Pattern,
+			strconv.FormatFloat(p.Load, 'g', -1, 64),
+			strconv.Itoa(id), field, value,
+		})
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, p := range points {
+		m := p.Metrics
+		if m == nil {
+			continue
+		}
+		for _, row := range []struct {
+			field string
+			value string
+		}{
+			{"schema_version", i(int64(m.SchemaVersion))},
+			{"cycle_ns", f(m.CycleNs)},
+			{"window_cycles", i(m.WindowCycles)},
+			{"windows", i(int64(m.Windows))},
+			{"measured_cycles", i(m.MeasuredCycles)},
+			{"replicas", i(int64(m.Replicas))},
+		} {
+			if err := emit(p, "run", 0, row.field, row.value); err != nil {
+				return err
+			}
+		}
+		for _, lm := range m.Links {
+			for _, row := range []struct {
+				field string
+				value string
+			}{
+				{"from", i(int64(lm.From))},
+				{"to", i(int64(lm.To))},
+				{"busy_frac", f(lm.BusyFrac)},
+				{"stopped_frac", f(lm.StoppedFrac)},
+				{"peak_window_frac", f(lm.PeakWindowFrac)},
+			} {
+				if err := emit(p, "link", lm.Channel, row.field, row.value); err != nil {
+					return err
+				}
+			}
+			for w, frac := range lm.Window {
+				if err := emit(p, "link_window", lm.Channel, strconv.Itoa(w), f(frac)); err != nil {
+					return err
+				}
+			}
+		}
+		for _, sm := range m.Switches {
+			if err := emit(p, "switch", sm.Switch, "mean_buf_flits", f(sm.MeanBufFlits)); err != nil {
+				return err
+			}
+			if err := emit(p, "switch", sm.Switch, "peak_buf_flits", i(int64(sm.PeakBufFlits))); err != nil {
+				return err
+			}
+		}
+		for _, hm := range m.Hosts {
+			for _, row := range []struct {
+				field string
+				value string
+			}{
+				{"ejects", i(hm.Ejects)},
+				{"reinjects", i(hm.Reinjects)},
+				{"mean_pool_bytes", f(hm.MeanPoolBytes)},
+				{"peak_pool_bytes", i(int64(hm.PeakPoolBytes))},
+				{"backpressure_cycles", i(hm.BackpressureCycles)},
+			} {
+				if err := emit(p, "host", hm.Host, row.field, row.value); err != nil {
+					return err
+				}
+			}
+		}
+		for _, hist := range []struct {
+			name string
+			h    *Histogram
+		}{{"latency", m.Latency}, {"net_latency", m.NetLatency}} {
+			if hist.h == nil {
+				continue
+			}
+			if err := writeHistCSV(emit, p, hist.name, hist.h); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeHistCSV(emit func(ExportPoint, string, int, string, string) error, p ExportPoint, name string, h *Histogram) error {
+	e := h.Export()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range []struct {
+		field string
+		value string
+	}{
+		{"count", strconv.FormatUint(e.Count, 10)},
+		{"mean_ns", f(e.MeanNs)},
+		{"min_ns", f(e.MinNs)},
+		{"max_ns", f(e.MaxNs)},
+		{"p50_ns", f(e.P50Ns)},
+		{"p95_ns", f(e.P95Ns)},
+		{"p99_ns", f(e.P99Ns)},
+	} {
+		if err := emit(p, name, 0, row.field, row.value); err != nil {
+			return err
+		}
+	}
+	for bi, b := range e.Buckets {
+		for _, row := range []struct {
+			field string
+			value string
+		}{
+			{"lo_ns", f(b.Lo)},
+			{"hi_ns", f(b.Hi)},
+			{"count", strconv.FormatUint(b.Count, 10)},
+		} {
+			if err := emit(p, name+"_bucket", bi, row.field, row.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile dispatches on the file extension: ".csv" writes the CSV form,
+// anything else the JSON form.
+func WriteFile(w io.Writer, path string, points []ExportPoint) error {
+	if len(path) > 4 && path[len(path)-4:] == ".csv" {
+		return WriteCSV(w, points)
+	}
+	return WriteJSON(w, points)
+}
+
+// String implements a compact human-readable one-line summary, handy in
+// logs and tests.
+func (p ExportPoint) String() string {
+	n := 0
+	if p.Metrics != nil {
+		n = len(p.Metrics.Links)
+	}
+	return fmt.Sprintf("%s load=%g (%d links)", p.Label, p.Load, n)
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram has count %d sum %g", h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%g) of empty = %g, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty moments not zero: mean %g min %g max %g", h.Mean(), h.Min(), h.Max())
+	}
+	if bs := h.Buckets(); len(bs) != 0 {
+		t.Errorf("empty histogram exports %d buckets", len(bs))
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	for _, v := range []float64{0.25, 1, 6.25, 4434.7, 1e9} {
+		h := NewHistogram()
+		h.Record(v)
+		if h.Count() != 1 {
+			t.Fatalf("count %d after one sample", h.Count())
+		}
+		// Min == Max == the sample; every quantile clamps to it exactly.
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("Quantile(%g) of single sample %g = %g", q, v, got)
+			}
+		}
+		if h.Mean() != v || h.Min() != v || h.Max() != v {
+			t.Errorf("moments of single sample %g: mean %g min %g max %g", v, h.Mean(), h.Min(), h.Max())
+		}
+		bs := h.Buckets()
+		if len(bs) != 1 || bs[0].Count != 1 {
+			t.Fatalf("single sample exports %+v", bs)
+		}
+		if !(bs[0].Lo <= v && v < bs[0].Hi) {
+			t.Errorf("sample %g outside its bucket [%g, %g)", v, bs[0].Lo, bs[0].Hi)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Exact powers of two start a fresh bucket; the value just below a
+	// boundary must land in the previous bucket.
+	cases := []struct {
+		v      float64
+		wantLo float64
+		wantHi float64
+	}{
+		{0, 0, 1},
+		{0.999, 0, 1},
+		{1, 1, 1 + 1.0/subCount},
+		{2, 2, 2 * (1 + 1.0/subCount) / 1}, // bucket [2, 2.125)
+		{2.124, 2, 2.125},
+		{2.125, 2.125, 2.25},
+		{1024, 1024, 1088},
+	}
+	for _, c := range cases {
+		idx := bucketIndex(c.v)
+		lo, hi := BucketBounds(idx)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("bucket of %g = [%g, %g), want [%g, %g)", c.v, lo, hi, c.wantLo, c.wantHi)
+		}
+		if !(lo <= c.v && c.v < hi) {
+			t.Errorf("value %g not inside its own bucket [%g, %g)", c.v, lo, hi)
+		}
+	}
+	// Pathological inputs clamp instead of corrupting state.
+	for _, v := range []float64{-1, math.NaN()} {
+		if idx := bucketIndex(v); idx != 0 {
+			t.Errorf("bucketIndex(%v) = %d, want 0", v, idx)
+		}
+	}
+	if idx := bucketIndex(math.Inf(1)); idx != NumBuckets-1 {
+		t.Errorf("bucketIndex(+Inf) = %d, want last bucket %d", idx, NumBuckets-1)
+	}
+	// Bucket bounds tile the positive axis without gaps.
+	for i := 1; i < NumBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi %g) and %d (lo %g)", i, hi, i+1, lo)
+		}
+	}
+}
+
+func TestHistogramQuantilesAgainstSort(t *testing.T) {
+	// Against the exact sorted-slice percentiles the simulator used to
+	// compute: histogram quantiles must land within one bucket width.
+	var xs []float64
+	h := NewHistogram()
+	v := 3.7
+	for i := 0; i < 5000; i++ {
+		v = math.Mod(v*1.37+11, 90000) + 6.25
+		xs = append(xs, v)
+		h.Record(v)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := xs[int(q*float64(len(xs)-1))]
+		got := h.Quantile(q)
+		if got < exact || got > exact*(1+1.0/subCount)+1e-9 {
+			t.Errorf("Quantile(%g) = %g, exact %g (allowed up to %g)",
+				q, got, exact, exact*(1+1.0/subCount))
+		}
+	}
+	// Monotonicity across the whole range.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: q=%.2f gives %g after %g", q, cur, prev)
+		}
+		prev = cur
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("Quantile(1) = %g, want max %g", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		v := float64(i * 7)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge moments diverge: %v vs %v", a.Export(), all.Export())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("merge Quantile(%g) = %g, want %g", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a.Export()
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	after := a.Export()
+	if before.Count != after.Count || before.MeanNs != after.MeanNs {
+		t.Error("merging empty histogram changed contents")
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	c := h.Clone()
+	c.Record(20)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: orig %d clone %d", h.Count(), c.Count())
+	}
+}

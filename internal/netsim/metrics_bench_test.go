@@ -1,0 +1,46 @@
+package netsim
+
+import (
+	"testing"
+
+	"itbsim/internal/metrics"
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// benchPoint runs the BenchmarkMediumTorusPoint workload with the given
+// metrics configuration. Comparing MetricsOff and MetricsOn guards the
+// tentpole overhead budget: collection must stay within 5% of baseline,
+// and a nil config must cost nothing measurable.
+func benchPoint(b *testing.B, mc *metrics.Config) {
+	net, err := topology.NewTorus(8, 8, 2, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := routes.Build(net, routes.DefaultConfig(routes.UpDown))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Net:             net,
+			Table:           tab.Clone(),
+			Dest:            uniformDest(net.NumHosts()),
+			Load:            0.014,
+			MessageBytes:    512,
+			Seed:            int64(i + 1),
+			WarmupMessages:  100,
+			MeasureMessages: 500,
+			MaxCycles:       10_000_000,
+			Metrics:         mc,
+		}
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricsOff(b *testing.B) { benchPoint(b, nil) }
+
+func BenchmarkMetricsOn(b *testing.B) { benchPoint(b, &metrics.Config{}) }

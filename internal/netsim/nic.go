@@ -115,6 +115,9 @@ func (n *nic) startReception(s *Sim, pkt *packet) {
 		if s.cfg.Tracer != nil {
 			s.trace(Event{Kind: EvEject, Packet: pkt.id, Host: n.host})
 		}
+		if s.mx != nil && s.measuring {
+			s.mx.Eject(n.host)
+		}
 		r := &reinjState{pkt: pkt, expected: pkt.wireFlits, readyAt: -1, toSend: pkt.wireFlits - 1}
 		n.poolUsed += r.expected
 		if n.poolUsed > n.poolPeak {
@@ -151,6 +154,11 @@ func (n *nic) tick(s *Sim) {
 	if !n.stopGen {
 		for n.nextGen <= float64(s.now) {
 			if n.sendQLen() >= s.p.SourceQueueCap {
+				// Injection backpressure: a message is due but the source
+				// queue is full — the network is pushing back.
+				if s.mx != nil && s.measuring {
+					s.mx.BackpressureStall(n.host)
+				}
 				break
 			}
 			s.generate(n)
@@ -178,6 +186,9 @@ func (n *nic) tick(s *Sim) {
 			n.active = true
 			if s.cfg.Tracer != nil {
 				s.trace(Event{Kind: EvReinject, Packet: pkt.id, Host: n.host})
+			}
+			if s.mx != nil && s.measuring {
+				s.mx.Reinject(n.host)
 			}
 		} else if n.sendQH < len(n.sendQ) {
 			pkt := n.sendQ[n.sendQH]

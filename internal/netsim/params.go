@@ -19,6 +19,24 @@
 //     programmed after 200 ns more (32 bytes); re-injection starts as soon
 //     as the output channel is free and never outruns reception. In-transit
 //     buffers are allocated from a 90 KB pool per NIC.
+//
+// A cycle advances in four fixed stages (see Sim.step): links deliver
+// arrived flits and stop/go control signals, switch routing control units
+// decide and tear down connections, NICs run DMA timers and message
+// generation, and finally every established connection and active
+// injection pushes one flit. The fixed order makes runs reproducible: the
+// only randomness is the per-NIC generation RNG seeded from Config.Seed.
+//
+// Observability is layered on without touching that loop: cumulative
+// hardware-style counters (link busy/stopped cycles, ITB pool bytes,
+// buffer occupancy) are maintained in place and snapshotted by the
+// optional windowed collector of Config.Metrics (internal/metrics) at
+// window boundaries — one comparison per cycle when enabled, nothing when
+// not. Message latencies stream into log-bucketed histograms, which back
+// the Result percentiles and the exported latency distribution. The
+// per-packet Tracer (Config.Tracer) is the complementary mechanism: exact
+// life-cycle events for few packets, where metrics are aggregates over all
+// of them. See docs/METRICS.md for the exported telemetry schema.
 package netsim
 
 import "fmt"

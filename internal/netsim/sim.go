@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
+	"itbsim/internal/metrics"
 	"itbsim/internal/routes"
 	"itbsim/internal/topology"
 )
@@ -42,6 +42,14 @@ type Config struct {
 	// CollectLinkUtil enables per-channel utilization accounting
 	// (figures 8, 9, and 11).
 	CollectLinkUtil bool
+
+	// Metrics, when non-nil, enables the windowed observability collector:
+	// per-link utilization time series, switch buffer occupancy, and
+	// per-host ITB/backpressure telemetry, reported as Result.Metrics.
+	// Collection is sampled once per Metrics.WindowCycles cycles, so the
+	// added per-cycle cost is a single comparison. Latency histograms are
+	// always collected regardless of this field.
+	Metrics *metrics.Config
 
 	// Notify, when non-nil, is called synchronously for every message
 	// delivered inside the measurement window. Adaptive path-selection
@@ -101,6 +109,11 @@ type Result struct {
 	PoolPeakBytes int
 	PoolOverflows int64
 
+	// Metrics is the run's windowed telemetry (nil unless Config.Metrics
+	// was set). Its Latency/NetLatency histograms back the percentile
+	// fields above and expose the full latency distribution.
+	Metrics *metrics.Metrics
+
 	Cycles    int64
 	Truncated bool // MaxCycles hit before MeasureMessages were delivered
 }
@@ -144,12 +157,16 @@ type Sim struct {
 	measuring    bool
 	measureStart int64
 
-	measLatSum    float64
-	measNetLatSum float64
-	measMax       float64
-	measITBSum    int64
-	measCount     int64
-	measLatencies []float64
+	measITBSum int64
+	measCount  int64
+
+	// Streaming latency histograms over the measured messages (always on;
+	// they replace the old sorted-slice percentile accounting).
+	latHist    *metrics.Histogram
+	netLatHist *metrics.Histogram
+
+	// mx is the optional windowed observability collector (Config.Metrics).
+	mx *metrics.Collector
 
 	windowDeliveredFlits int64
 	windowInjectedFlits  int64
@@ -185,6 +202,11 @@ func New(cfg Config) (*Sim, error) {
 	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net}
 	s.numChannels = cfg.Net.NumChannels()
 	s.numHosts = cfg.Net.NumHosts()
+	s.latHist = metrics.NewHistogram()
+	s.netLatHist = metrics.NewHistogram()
+	if cfg.Metrics != nil {
+		s.mx = metrics.NewCollector(*cfg.Metrics, s.numChannels, cfg.Net.Switches, s.numHosts)
+	}
 
 	// Injection interval per host, in cycles: Load [flits/ns/switch] *
 	// switches / hosts flits/ns per host; one message every
@@ -308,14 +330,10 @@ func (s *Sim) deliver(p *packet) {
 	}
 	lat := float64(s.now-p.genCycle) * s.p.CycleNs
 	net := float64(s.now-p.injectCycle) * s.p.CycleNs
-	s.measLatSum += lat
-	s.measNetLatSum += net
-	if lat > s.measMax {
-		s.measMax = lat
-	}
+	s.latHist.Record(lat)
+	s.netLatHist.Record(net)
 	s.measITBSum += int64(p.itbVisits)
 	s.measCount++
-	s.measLatencies = append(s.measLatencies, lat)
 	if s.cfg.Notify != nil {
 		s.cfg.Notify(Delivery{
 			PacketID:  p.id,
@@ -355,6 +373,29 @@ func (s *Sim) step() {
 		s.nics[i].tickTransfer(s)
 	}
 	s.now++
+	// Windowed metrics sampling: one comparison per cycle, a full network
+	// scan only at window boundaries.
+	if s.mx != nil && s.measuring && s.now >= s.mx.NextSample() {
+		s.sampleMetrics()
+	}
+}
+
+// sampleMetrics snapshots the cumulative counters at a window boundary.
+func (s *Sim) sampleMetrics() {
+	for c := 0; c < s.numChannels; c++ {
+		s.mx.SampleLink(c, s.links[c].busy)
+	}
+	for i := range s.switches {
+		occ := 0
+		for _, ip := range s.switches[i].ins {
+			occ += s.inPorts[ip].buf.occ
+		}
+		s.mx.SampleSwitchOcc(i, occ)
+	}
+	for h := range s.nics {
+		s.mx.SampleHostPool(h, s.nics[h].poolUsed)
+	}
+	s.mx.CloseWindow(s.now)
 }
 
 // Now returns the current simulation cycle.
@@ -401,7 +442,13 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 // been delivered (or MaxCycles / the deadlock watchdog fires). Use with
 // Enqueue-driven traffic.
 func (s *Sim) RunUntilDrained() (*Result, error) {
-	s.measuring = true
+	if !s.measuring {
+		s.measuring = true
+		s.measureStart = s.now
+		if s.mx != nil {
+			s.mx.Start(s.now)
+		}
+	}
 	lastProgress := int64(-1)
 	lastProgressAt := int64(0)
 	truncated := false
@@ -446,6 +493,9 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 		if !s.measuring && s.deliveredTotal >= int64(s.cfg.WarmupMessages) {
 			s.measuring = true
 			s.measureStart = s.now
+			if s.mx != nil {
+				s.mx.Start(s.now)
+			}
 		}
 		if s.measuring && s.measCount >= int64(s.cfg.MeasureMessages) {
 			break
@@ -479,18 +529,13 @@ func (s *Sim) finalize(truncated bool) *Result {
 		Truncated:         truncated,
 	}
 	if s.measCount > 0 {
-		res.AvgLatencyNs = s.measLatSum / float64(s.measCount)
-		res.AvgNetLatencyNs = s.measNetLatSum / float64(s.measCount)
+		res.AvgLatencyNs = s.latHist.Mean()
+		res.AvgNetLatencyNs = s.netLatHist.Mean()
 		res.AvgITBsPerMessage = float64(s.measITBSum) / float64(s.measCount)
-		res.MaxLatencyNs = s.measMax
-		sort.Float64s(s.measLatencies)
-		pct := func(q float64) float64 {
-			i := int(q * float64(len(s.measLatencies)-1))
-			return s.measLatencies[i]
-		}
-		res.LatencyP50Ns = pct(0.50)
-		res.LatencyP95Ns = pct(0.95)
-		res.LatencyP99Ns = pct(0.99)
+		res.MaxLatencyNs = s.latHist.Max()
+		res.LatencyP50Ns = s.latHist.Quantile(0.50)
+		res.LatencyP95Ns = s.latHist.Quantile(0.95)
+		res.LatencyP99Ns = s.latHist.Quantile(0.99)
 	}
 	windowCycles := s.now - s.measureStart
 	if s.measuring && windowCycles > 0 {
@@ -511,6 +556,14 @@ func (s *Sim) finalize(truncated bool) *Result {
 			res.PoolPeakBytes = s.nics[i].poolPeak
 		}
 		res.PoolOverflows += s.nics[i].overflows
+	}
+	if s.mx != nil && s.measuring {
+		m := s.mx.Finalize(windowCycles, s.p.CycleNs,
+			s.net.ChannelEnds,
+			func(c int) (int64, int64) { return s.links[c].busy, s.links[c].idleStopped })
+		m.Latency = s.latHist
+		m.NetLatency = s.netLatHist
+		res.Metrics = m
 	}
 	return res
 }

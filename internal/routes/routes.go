@@ -4,6 +4,14 @@
 // support the three schemes the paper evaluates: the original Myrinet
 // up*/down* routing (UP/DOWN), and in-transit-buffer minimal routing with
 // single-path (ITB-SP) or round-robin (ITB-RR) path selection.
+//
+// Build constructs a Table for a network and scheme; construction is the
+// expensive step (all-pairs alternatives), so harnesses memoize it in a
+// runner.TableCache. A Table is not a value type: round-robin and adaptive
+// policies keep per-pair selection state that advances on every Route
+// call, so concurrent simulations must each work on their own Clone — and
+// two runs sharing one table are not reproductions of each other even at
+// equal seeds.
 package routes
 
 import (

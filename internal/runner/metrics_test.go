@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"itbsim/internal/metrics"
+	"itbsim/internal/routes"
+)
+
+// TestMetricsDeterministicAcrossParallelism extends the core determinism
+// contract to the telemetry path: with the collector enabled and replicas
+// aggregated, the serialized metrics export must be byte-identical at
+// parallel=1 and parallel=8.
+func TestMetricsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net := testNet(t)
+
+	spec := func(parallel int) Spec {
+		s := Spec{
+			Net:             net,
+			Schemes:         []routes.Scheme{routes.UpDown, routes.ITBRR},
+			Patterns:        []Pattern{{Kind: "uniform"}},
+			Replicas:        2,
+			Loads:           []float64{0.02, 0.05},
+			MessageBytes:    128,
+			Seed:            7,
+			WarmupMessages:  50,
+			MeasureMessages: 200,
+			MaxCycles:       8_000_000,
+			Label:           "mdet",
+			Metrics:         &metrics.Config{WindowCycles: 1024},
+			Parallel:        parallel,
+		}
+		return s
+	}
+
+	export := func(parallel int) (json, csv []byte) {
+		rep, err := Run(spec(parallel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		points := rep.MetricsPoints()
+		if len(points) == 0 {
+			t.Fatal("no metrics points collected")
+		}
+		var jb, cb bytes.Buffer
+		if err := metrics.WriteJSON(&jb, points); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.WriteCSV(&cb, points); err != nil {
+			t.Fatal(err)
+		}
+		return jb.Bytes(), cb.Bytes()
+	}
+
+	j1, c1 := export(1)
+	j8, c8 := export(8)
+	if !bytes.Equal(j1, j8) {
+		t.Error("JSON telemetry diverges between parallel=1 and parallel=8")
+	}
+	if !bytes.Equal(c1, c8) {
+		t.Error("CSV telemetry diverges between parallel=1 and parallel=8")
+	}
+}
+
+// TestMetricsPointsAggregation checks the replica-merge semantics of
+// Report.MetricsPoints: one export point per (scheme, pattern, load) with
+// the replica count accumulated and labels free of replica tags.
+func TestMetricsPointsAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net := testNet(t)
+	rep, err := Run(Spec{
+		Net:             net,
+		Schemes:         []routes.Scheme{routes.UpDown},
+		Patterns:        []Pattern{{Kind: "uniform"}},
+		Replicas:        3,
+		Loads:           []float64{0.02},
+		MessageBytes:    128,
+		Seed:            1,
+		WarmupMessages:  20,
+		MeasureMessages: 100,
+		MaxCycles:       8_000_000,
+		Metrics:         &metrics.Config{WindowCycles: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := rep.MetricsPoints()
+	if len(points) != 1 {
+		t.Fatalf("got %d export points, want 1 aggregated cell", len(points))
+	}
+	p := points[0]
+	if p.Metrics.Replicas != 3 {
+		t.Errorf("aggregated %d replicas, want 3", p.Metrics.Replicas)
+	}
+	if p.Load != 0.02 || p.Scheme != routes.UpDown.String() {
+		t.Errorf("point coordinates wrong: %+v", p)
+	}
+	if p.Metrics.Latency == nil || p.Metrics.Latency.Count() != 300 {
+		t.Errorf("merged latency histogram should hold 3x100 samples")
+	}
+	// Without Spec.Metrics there is no telemetry and no points.
+	rep2, err := Run(Spec{
+		Net:             net,
+		Schemes:         []routes.Scheme{routes.UpDown},
+		Patterns:        []Pattern{{Kind: "uniform"}},
+		Loads:           []float64{0.02},
+		MessageBytes:    128,
+		Seed:            1,
+		WarmupMessages:  20,
+		MeasureMessages: 100,
+		MaxCycles:       8_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := rep2.MetricsPoints(); len(pts) != 0 {
+		t.Errorf("metrics-less run produced %d export points", len(pts))
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 
+	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 )
 
@@ -79,6 +82,60 @@ func (l *logReporter) JobDone(cr *CurveResult) {
 	fmt.Fprintf(l.w, "done  %s: %d points, table %.1fms, sim %.0fms\n",
 		cr.Job.Label, len(cr.Curve.Points),
 		float64(cr.TableBuild.Microseconds())/1000, float64(cr.Sim.Milliseconds()))
+}
+
+// MetricsPoints flattens the report's telemetry into labelled export
+// points for metrics.WriteFile: one point per (scheme, pattern, load) cell,
+// with replicas of the same cell merged by metrics.Aggregate (counts
+// summed, fractions averaged, peaks maxed, histograms merged). Points
+// whose runs carried no telemetry (Spec.Metrics unset, or a failed job)
+// are skipped. The order — cells in expansion order, loads ascending — and
+// the contents are deterministic at every worker count.
+func (r *Report) MetricsPoints() []metrics.ExportPoint {
+	var out []metrics.ExportPoint
+	seen := map[[2]int]bool{}
+	for i := range r.Curves {
+		lead := &r.Curves[i]
+		key := [2]int{lead.Job.SchemeIdx, lead.Job.PatternIdx}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		byLoad := map[float64][]*metrics.Metrics{}
+		var loads []float64
+		for k := range r.Curves {
+			cr := &r.Curves[k]
+			if cr.Job.SchemeIdx != key[0] || cr.Job.PatternIdx != key[1] {
+				continue
+			}
+			for _, p := range cr.Curve.Points {
+				if p.Result == nil || p.Result.Metrics == nil {
+					continue
+				}
+				if _, ok := byLoad[p.Load]; !ok {
+					loads = append(loads, p.Load)
+				}
+				byLoad[p.Load] = append(byLoad[p.Load], p.Result.Metrics)
+			}
+		}
+		sort.Float64s(loads)
+		// The cell label is the replica-0 job label without its replica tag.
+		label := strings.TrimSuffix(lead.Job.Label, " r0")
+		for _, load := range loads {
+			m := metrics.Aggregate(byLoad[load])
+			if m == nil {
+				continue
+			}
+			out = append(out, metrics.ExportPoint{
+				Label:   label,
+				Scheme:  lead.Job.Scheme.String(),
+				Pattern: lead.Job.Pattern.String(),
+				Load:    load,
+				Metrics: m,
+			})
+		}
+	}
+	return out
 }
 
 // JSON serialization of a report, the -json output of the experiment CLIs.

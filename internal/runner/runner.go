@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
 	"itbsim/internal/stats"
@@ -86,6 +87,11 @@ type Spec struct {
 	// CollectLinkUtil enables per-channel utilization accounting on every
 	// point (figures 8, 9, 11).
 	CollectLinkUtil bool
+
+	// Metrics enables the windowed observability collector on every point
+	// (see netsim.Config.Metrics); the per-point telemetry lands in each
+	// Result and is flattened across replicas by Report.MetricsPoints.
+	Metrics *metrics.Config
 
 	// Params overrides the Myrinet timing constants; zero means defaults.
 	Params netsim.Params
@@ -341,6 +347,7 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 			MeasureMessages: s.MeasureMessages,
 			MaxCycles:       s.MaxCycles,
 			CollectLinkUtil: s.CollectLinkUtil,
+			Metrics:         s.Metrics,
 			Params:          s.Params,
 		})
 		if err != nil {

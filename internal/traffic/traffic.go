@@ -2,6 +2,12 @@
 // uniform, bit-reversal, hotspot, and local. Each constructor returns a
 // netsim.DestFn closure; all randomness flows through the per-NIC RNG the
 // simulator passes in, so runs stay deterministic for a given seed.
+//
+// Constructors validate their parameters against the network (host counts,
+// hotspot host range, local radius reachability) and return errors rather
+// than panicking mid-run. Declarative call sites usually go through
+// runner.Pattern, whose Kind strings ("uniform", "bitrev", "hotspot",
+// "local", "custom") map one-to-one onto these constructors.
 package traffic
 
 import (

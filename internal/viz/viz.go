@@ -1,6 +1,13 @@
 // Package viz renders the paper's figures as actual images using only the
 // standard library: latency-vs-accepted-traffic curves as SVG (figures 7,
 // 10, 12) and link-utilization heat maps as PNG (figures 8, 9, 11).
+//
+// The renderers consume the harness's own result types — stats.Curve
+// series for the SVG plots, per-channel busy fractions for the PNG heat
+// maps — so every figure a CLI prints as text (cmd/sweep, cmd/linkutil)
+// can also be written as an image with the -svg/-png flags. Output is
+// deterministic byte-for-byte for identical inputs, which keeps golden
+// tests and reproduction diffs meaningful.
 package viz
 
 import (
