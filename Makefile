@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test docs race race-determinism bench clean
+.PHONY: all build vet test docs race race-determinism faults bench clean
 
 all: build vet test docs
 
@@ -31,6 +31,14 @@ race:
 race-determinism:
 	$(GO) test -race -count=1 -run 'Determinism|TableCache|Reporter|Cancelled' ./internal/runner/
 	$(GO) test -race -count=1 -run 'RunSpecDeterministicReplicas' .
+
+# The fault-injection suite under the race detector: engine semantics and
+# conservation (netsim), degraded-route property tests (faults), and the
+# faulted determinism check — byte-identical results at -parallel 1 vs 8
+# with a mid-run link failure and online reconfiguration (runner).
+faults:
+	$(GO) test -race -count=1 -run 'Fault|Fail|Degraded|StallDump' ./internal/netsim/ ./internal/faults/
+	$(GO) test -race -count=1 -run 'FaultedDeterminism|SingleLinkFailureRecovery' ./internal/runner/
 
 # Figure-7 suite wall-clock, sequential vs parallel=NumCPU.
 bench:

@@ -43,8 +43,12 @@ func main() {
 		log.Fatal(err)
 	}
 	loads := experiments.DefaultLoads(env.Topo, env.Scale)
+	opt, err := run.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
 	rows, err := experiments.HotspotBatteryOpts(env, *common.Frac, *locations, loads,
-		*common.Bytes, *common.Seed, run.Options())
+		*common.Bytes, *common.Seed, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

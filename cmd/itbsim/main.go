@@ -51,6 +51,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	opt, err := run.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The traced path runs one simulation directly: tracers are stateful
 	// and tied to a single run, so they bypass the worker pool.
@@ -59,8 +63,11 @@ func main() {
 			log.Fatal("-trace requires a single -scheme")
 		}
 		tracer := netsim.NewRingTracer(*trace)
+		if !opt.Faults.Empty() {
+			log.Fatal("-trace and -faults cannot be combined; run the faulted point without -trace")
+		}
 		res, err := experiments.RunOnePoint(env, schemes[0], pat, *load, *common.Bytes, *common.Seed,
-			experiments.PointOptions{CollectLinkUtil: *util, Metrics: run.Options().Metrics, Tracer: tracer})
+			experiments.PointOptions{CollectLinkUtil: *util, Metrics: opt.Metrics, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,7 +88,7 @@ func main() {
 	}
 
 	spec := experiments.SpecFor(env, schemes, []experiments.Pattern{pat},
-		[]float64{*load}, *common.Bytes, *common.Seed, run.Options())
+		[]float64{*load}, *common.Bytes, *common.Seed, opt)
 	spec.CollectLinkUtil = *util
 	rep, err := runner.Run(spec)
 	if err != nil {

@@ -64,8 +64,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	opt, err := run.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
 	spec := experiments.SpecFor(env, experiments.AllSchemes, []experiments.Pattern{pat},
-		loads, *common.Bytes, *common.Seed, run.Options())
+		loads, *common.Bytes, *common.Seed, opt)
 	rep, err := runner.Run(spec)
 	if err != nil {
 		log.Fatal(err)

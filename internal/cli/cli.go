@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"itbsim/internal/experiments"
+	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/routes"
 	"itbsim/internal/runner"
@@ -88,6 +89,7 @@ type Run struct {
 	JSON     *bool
 	Progress *bool
 	Metrics  *string
+	Faults   *string
 }
 
 // AddRun registers the runner flags on a FlagSet.
@@ -98,12 +100,15 @@ func AddRun(fs *flag.FlagSet) *Run {
 		Progress: fs.Bool("progress", false, "stream per-job progress to stderr"),
 		Metrics: fs.String("metrics", "",
 			"collect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)"),
+		Faults: fs.String("faults", "",
+			"inject faults mid-run: comma-separated link:ID@CYCLE / switch:ID@CYCLE events, + prefix repairs (see docs/FAULTS.md)"),
 	}
 }
 
 // Options assembles the harness run options from the flags. Setting
-// -metrics turns the observability collector on for every point.
-func (r *Run) Options() experiments.RunOptions {
+// -metrics turns the observability collector on for every point; -faults
+// schedules failures on every point and enables online reconfiguration.
+func (r *Run) Options() (experiments.RunOptions, error) {
 	opt := experiments.RunOptions{Parallel: *r.Parallel}
 	if *r.Progress {
 		opt.Reporter = runner.NewLogReporter(os.Stderr)
@@ -111,7 +116,14 @@ func (r *Run) Options() experiments.RunOptions {
 	if *r.Metrics != "" {
 		opt.Metrics = &metrics.Config{}
 	}
-	return opt
+	if *r.Faults != "" {
+		plan, err := faults.ParsePlan(*r.Faults)
+		if err != nil {
+			return opt, err
+		}
+		opt.Faults = plan
+	}
+	return opt, nil
 }
 
 // WriteMetrics exports a report's telemetry to the -metrics file (no-op

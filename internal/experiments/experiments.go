@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
@@ -154,6 +155,11 @@ type RunOptions struct {
 	// (see docs/METRICS.md); telemetry lands in each Result and in
 	// Report.MetricsPoints.
 	Metrics *metrics.Config
+	// Faults schedules link/switch failures (and repairs) on every point;
+	// the runner attaches a per-curve reconfiguration controller that
+	// recovers by recomputing routes on the degraded topology (see
+	// docs/FAULTS.md).
+	Faults *faults.Plan
 }
 
 // SpecFor assembles the runner spec the harnesses share: the environment's
@@ -177,6 +183,7 @@ func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, m
 		Context:         opt.Context,
 		Reporter:        opt.Reporter,
 		Metrics:         opt.Metrics,
+		Faults:          opt.Faults,
 	}
 }
 

@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"itbsim/internal/mapper"
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// Reconfiguration is the outcome of one recovery pass: a routing table for
+// the surviving topology, expressed in the physical network's IDs so it can
+// be swapped into running NICs, plus the discovery cost and reachability
+// summary the simulator folds into its metrics.
+type Reconfiguration struct {
+	// Table routes over the degraded graph. Pairs with no surviving path
+	// have no alternatives; look routes up with Table.Lookup, which
+	// returns nil for them.
+	Table *routes.Table
+	// Probes is the number of probe packets the mapping pass spent; the
+	// simulator converts it to discovery latency.
+	Probes int
+	// ReachableSwitches and ReachableHosts count what the mapper found.
+	ReachableSwitches int
+	ReachableHosts    int
+	// HostUp[h] reports whether physical host h was reachable.
+	HostUp []bool
+	// LostHosts lists the physical hosts that were not, in increasing
+	// order.
+	LostHosts []int
+}
+
+// Controller is the reconfiguration brain: it plays the role of the mapping
+// host's management software, which on every topology change re-runs the
+// discovery pass and rebuilds the routing tables on whatever survives. The
+// zero value is not usable; fill in Net, MapperHost and Cfg.
+//
+// Recompute is memoized on the canonical fault state, so repeated failures
+// and repairs that revisit a previous state reuse the previous tables (the
+// discovery cost is still reported, as the real mapper would still probe).
+type Controller struct {
+	// Net is the physical network being managed.
+	Net *topology.Network
+	// MapperHost runs the mapping pass; it must stay alive for recovery
+	// to work, exactly as in the real system.
+	MapperHost int
+	// Cfg selects the routing scheme and its parameters. Cfg.Root names a
+	// physical switch; if it is unreachable after a fault the controller
+	// re-roots the up*/down* tree at the mapper's own switch.
+	Cfg routes.Config
+	// Salt seeds the prober's switch fingerprints.
+	Salt uint64
+
+	memo map[string]*Reconfiguration
+}
+
+// NewController returns a controller for a network.
+func NewController(net *topology.Network, mapperHost int, cfg routes.Config) *Controller {
+	return &Controller{Net: net, MapperHost: mapperHost, Cfg: cfg}
+}
+
+// Recompute runs one full recovery pass against the given fault state:
+// discover the surviving topology from the mapper host, rebuild the
+// scheme's routing table on it, and translate the result back into the
+// physical network's switch, channel and host IDs.
+func (c *Controller) Recompute(set *Set) (*Reconfiguration, error) {
+	key := set.Key()
+	if rc, ok := c.memo[key]; ok {
+		return rc, nil
+	}
+
+	prober := &mapper.NetworkProber{
+		Net:        c.Net,
+		Faults:     set.FaultSet(),
+		MapperHost: c.MapperHost,
+		Salt:       c.Salt,
+	}
+	d, err := mapper.Discover(prober)
+	if err != nil {
+		return nil, err
+	}
+
+	// The mapper sees opaque fingerprints and its own host IDs; invert
+	// the fingerprints to recover which physical switch each discovered
+	// switch is.
+	fpToReal := make(map[uint64]int, c.Net.Switches)
+	for sw := 0; sw < c.Net.Switches; sw++ {
+		fpToReal[prober.Fingerprint(sw)] = sw
+	}
+	realSwitch := make([]int, d.Net.Switches)
+	for i, fp := range d.Fingerprints {
+		sw, ok := fpToReal[fp]
+		if !ok {
+			return nil, fmt.Errorf("faults: discovered switch %d has unknown fingerprint %#x", i, fp)
+		}
+		realSwitch[i] = sw
+	}
+
+	// Rebuild the routes on the discovered graph. The up*/down* root is a
+	// physical switch ID; translate it, falling back to the mapper's own
+	// switch (discovered ID 0) when the root did not survive.
+	cfg := c.Cfg
+	cfg.Root = 0
+	for i, sw := range realSwitch {
+		if sw == c.Cfg.Root {
+			cfg.Root = i
+			break
+		}
+	}
+	dt, err := routes.Build(d.Net, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("faults: rebuilding %v routes on degraded graph: %w", cfg.Scheme, err)
+	}
+
+	rc := &Reconfiguration{
+		Probes:            d.Probes,
+		ReachableSwitches: d.Net.Switches,
+		ReachableHosts:    d.Net.NumHosts(),
+		HostUp:            make([]bool, c.Net.NumHosts()),
+	}
+	for _, h := range d.HostIDs {
+		rc.HostUp[h] = true
+	}
+	for h, up := range rc.HostUp {
+		if !up {
+			rc.LostHosts = append(rc.LostHosts, h)
+		}
+	}
+	sort.Ints(rc.LostHosts)
+
+	table, err := c.translate(dt, d, realSwitch, set)
+	if err != nil {
+		return nil, err
+	}
+	rc.Table = table
+	if c.memo == nil {
+		c.memo = map[string]*Reconfiguration{}
+	}
+	c.memo[key] = rc
+	return rc, nil
+}
+
+// translate rewrites a table built on the discovered network into the
+// physical network's IDs: switch pairs re-indexed, every channel mapped to
+// a live physical channel between the same pair of switches, and every
+// in-transit host mapped through the discovered-to-real host identity.
+func (c *Controller) translate(dt *routes.Table, d *mapper.Discovered, realSwitch []int, set *Set) (*routes.Table, error) {
+	n := c.Net.Switches
+	alts := make([][][]*routes.Route, n)
+	for s := range alts {
+		alts[s] = make([][]*routes.Route, n)
+	}
+	for ds := range dt.Alts {
+		for dd := range dt.Alts[ds] {
+			rs, rd := realSwitch[ds], realSwitch[dd]
+			out := make([]*routes.Route, 0, len(dt.Alts[ds][dd]))
+			for _, r := range dt.Alts[ds][dd] {
+				tr, err := c.translateRoute(r, d, realSwitch, set)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, tr)
+			}
+			alts[rs][rd] = out
+		}
+	}
+	return routes.NewTable(c.Net, dt.Scheme, alts)
+}
+
+func (c *Controller) translateRoute(r *routes.Route, d *mapper.Discovered, realSwitch []int, set *Set) (*routes.Route, error) {
+	tr := &routes.Route{
+		SrcSwitch: realSwitch[r.SrcSwitch],
+		DstSwitch: realSwitch[r.DstSwitch],
+		Hops:      r.Hops,
+		AltIndex:  r.AltIndex,
+		Segs:      make([]routes.Seg, 0, len(r.Segs)),
+	}
+	for _, seg := range r.Segs {
+		ts := routes.Seg{ITBHost: -1}
+		if seg.ITBHost >= 0 {
+			ts.ITBHost = d.HostIDs[seg.ITBHost]
+		}
+		for _, ch := range seg.Channels {
+			from, to := d.Net.ChannelEnds(ch)
+			pc, err := c.liveChannel(realSwitch[from], realSwitch[to], set)
+			if err != nil {
+				return nil, err
+			}
+			ts.Channels = append(ts.Channels, pc)
+		}
+		tr.Segs = append(tr.Segs, ts)
+	}
+	return tr, nil
+}
+
+// liveChannel finds the physical directed channel from switch a to switch b
+// that is in service, preferring the lowest link ID for determinism. Two
+// physical parallel links between the same switch pair collapse onto the
+// surviving lowest one, which only concentrates load — it cannot introduce
+// a cycle the dependency graph did not already have, since both directions
+// of a parallel pair carry identical up/down orientation.
+func (c *Controller) liveChannel(a, b int, set *Set) (int, error) {
+	best := -1
+	for _, nb := range c.Net.Neighbors(a) {
+		if nb.Switch != b || set.Links[nb.Link] {
+			continue
+		}
+		if best < 0 || nb.Link < best {
+			best = nb.Link
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("faults: no live link %d -> %d for a discovered route", a, b)
+	}
+	return c.Net.Channel(best, a), nil
+}

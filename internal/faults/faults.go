@@ -1,0 +1,325 @@
+// Package faults is the dynamic fault-injection and recovery subsystem: it
+// schedules link and switch failures (and repairs) at simulation cycles,
+// tracks the active fault state, and recomputes degraded-mode routing
+// tables by re-running the mapper's discovery pass on the surviving
+// topology — the host-side half of the paper's premise that source-routed
+// networks recover from faults by remapping and rebuilding routes in host
+// software (§2: the MCP "checks for changes in the network topology ...
+// in order to maintain the routing tables").
+//
+// A Plan is consumed by internal/netsim, which takes the failed elements
+// out of service mid-run, and by the Controller here, which plays the role
+// of the mapping host: on every topology change it re-runs mapper.Discover
+// against the updated fault set, rebuilds the up*/down* tree and the ITB
+// routes on the degraded graph, and translates the result back into the
+// physical network's channel and host IDs so per-NIC routing tables can be
+// swapped atomically.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"itbsim/internal/mapper"
+	"itbsim/internal/topology"
+)
+
+// Kind classifies one scheduled topology change.
+type Kind int
+
+const (
+	// FailLink takes one switch-to-switch link out of service, both
+	// directions at once (a cut or unplugged cable).
+	FailLink Kind = iota
+	// FailSwitch takes a whole switch out of service: every cable into it
+	// goes dark, including its hosts' interface links.
+	FailSwitch
+	// RepairLink returns a failed link to service. The link stays dark
+	// while either endpoint switch is still failed.
+	RepairLink
+	// RepairSwitch returns a failed switch to service.
+	RepairSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FailLink:
+		return "fail-link"
+	case FailSwitch:
+		return "fail-switch"
+	case RepairLink:
+		return "repair-link"
+	case RepairSwitch:
+		return "repair-switch"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scheduled topology change: element ID (topology link or
+// switch ID) and the simulation cycle it takes effect.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	ID    int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %d @%d", e.Kind, e.ID, e.Cycle)
+}
+
+// Plan is a schedule of fault events, ordered by cycle. Build one with
+// ParsePlan or the Fail*/Repair* helpers; Validate before handing it to a
+// simulator. The zero value is the empty (healthy) plan.
+type Plan struct {
+	Events []Event
+}
+
+// FailLinkAt schedules a link failure.
+func (p *Plan) FailLinkAt(id int, cycle int64) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: FailLink, ID: id})
+	return p
+}
+
+// FailSwitchAt schedules a switch failure.
+func (p *Plan) FailSwitchAt(id int, cycle int64) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: FailSwitch, ID: id})
+	return p
+}
+
+// RepairLinkAt schedules a link repair.
+func (p *Plan) RepairLinkAt(id int, cycle int64) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: RepairLink, ID: id})
+	return p
+}
+
+// RepairSwitchAt schedules a switch repair.
+func (p *Plan) RepairSwitchAt(id int, cycle int64) *Plan {
+	p.Events = append(p.Events, Event{Cycle: cycle, Kind: RepairSwitch, ID: id})
+	return p
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Sorted returns the events ordered by (cycle, kind, ID) — the order the
+// simulator applies them in. The receiver is not modified.
+func (p *Plan) Sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// Validate checks every event against a network: IDs must exist and cycles
+// must be non-negative.
+func (p *Plan) Validate(net *topology.Network) error {
+	if p == nil {
+		return nil
+	}
+	for _, e := range p.Events {
+		if e.Cycle < 0 {
+			return fmt.Errorf("faults: %s: negative cycle", e)
+		}
+		switch e.Kind {
+		case FailLink, RepairLink:
+			if e.ID < 0 || e.ID >= len(net.Links) {
+				return fmt.Errorf("faults: %s: network %s has no link %d", e, net.Name, e.ID)
+			}
+		case FailSwitch, RepairSwitch:
+			if e.ID < 0 || e.ID >= net.Switches {
+				return fmt.Errorf("faults: %s: network %s has no switch %d", e, net.Name, e.ID)
+			}
+		default:
+			return fmt.Errorf("faults: %s: unknown event kind", e)
+		}
+	}
+	return nil
+}
+
+// String renders the plan in the ParsePlan syntax.
+func (p *Plan) String() string {
+	if p.Empty() {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Events))
+	for _, e := range p.Sorted() {
+		tok := ""
+		switch e.Kind {
+		case FailLink:
+			tok = fmt.Sprintf("link:%d@%d", e.ID, e.Cycle)
+		case FailSwitch:
+			tok = fmt.Sprintf("switch:%d@%d", e.ID, e.Cycle)
+		case RepairLink:
+			tok = fmt.Sprintf("+link:%d@%d", e.ID, e.Cycle)
+		case RepairSwitch:
+			tok = fmt.Sprintf("+switch:%d@%d", e.ID, e.Cycle)
+		}
+		parts = append(parts, tok)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the -faults command-line syntax: a comma-separated list
+// of events of the form
+//
+//	link:ID@CYCLE      fail link ID at the given simulation cycle
+//	switch:ID@CYCLE    fail switch ID
+//	+link:ID@CYCLE     repair link ID
+//	+switch:ID@CYCLE   repair switch ID
+//
+// e.g. "link:12@200000,+link:12@800000". Whitespace around commas is
+// ignored; an empty string yields an empty plan.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		repair := strings.HasPrefix(tok, "+")
+		body := strings.TrimPrefix(tok, "+")
+		kindStr, rest, ok := strings.Cut(body, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad event %q (want kind:ID@CYCLE)", tok)
+		}
+		idStr, cycStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad event %q (missing @CYCLE)", tok)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad ID in %q: %v", tok, err)
+		}
+		cyc, err := strconv.ParseInt(cycStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad cycle in %q: %v", tok, err)
+		}
+		var kind Kind
+		switch kindStr {
+		case "link":
+			kind = FailLink
+			if repair {
+				kind = RepairLink
+			}
+		case "switch":
+			kind = FailSwitch
+			if repair {
+				kind = RepairSwitch
+			}
+		default:
+			return nil, fmt.Errorf("faults: bad event %q (kind must be link or switch)", tok)
+		}
+		p.Events = append(p.Events, Event{Cycle: cyc, Kind: kind, ID: id})
+	}
+	return p, nil
+}
+
+// Set is the active fault state of a network at one instant: which links
+// and switches are currently failed. The simulator mutates one as plan
+// events fire; the Controller reads it to recompute routes.
+type Set struct {
+	Links    []bool // by topology link ID
+	Switches []bool // by switch ID
+}
+
+// NewSet returns the all-healthy state for a network.
+func NewSet(net *topology.Network) *Set {
+	return &Set{
+		Links:    make([]bool, len(net.Links)),
+		Switches: make([]bool, net.Switches),
+	}
+}
+
+// Apply folds one event into the state.
+func (s *Set) Apply(e Event) {
+	switch e.Kind {
+	case FailLink:
+		s.Links[e.ID] = true
+	case RepairLink:
+		s.Links[e.ID] = false
+	case FailSwitch:
+		s.Switches[e.ID] = true
+	case RepairSwitch:
+		s.Switches[e.ID] = false
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	return &Set{
+		Links:    append([]bool(nil), s.Links...),
+		Switches: append([]bool(nil), s.Switches...),
+	}
+}
+
+// Empty reports whether nothing is failed.
+func (s *Set) Empty() bool {
+	for _, f := range s.Links {
+		if f {
+			return false
+		}
+	}
+	for _, f := range s.Switches {
+		if f {
+			return false
+		}
+	}
+	return true
+}
+
+// Key is a canonical representation of the state, usable as a memo key for
+// route recomputation.
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.WriteByte('L')
+	for id, f := range s.Links {
+		if f {
+			fmt.Fprintf(&b, ":%d", id)
+		}
+	}
+	b.WriteByte('S')
+	for id, f := range s.Switches {
+		if f {
+			fmt.Fprintf(&b, ":%d", id)
+		}
+	}
+	return b.String()
+}
+
+// FaultSet converts the state to the mapper's representation, which is what
+// the discovery pass probes against.
+func (s *Set) FaultSet() mapper.FaultSet {
+	var fs mapper.FaultSet
+	for id, f := range s.Links {
+		if f {
+			fs.FailLink(id)
+		}
+	}
+	for id, f := range s.Switches {
+		if f {
+			fs.FailSwitch(id)
+		}
+	}
+	return fs
+}
+
+// LinkDown reports whether the directed channel c of net is out of service
+// under this state: its link failed, or either endpoint switch failed.
+func (s *Set) LinkDown(net *topology.Network, c int) bool {
+	l := c / 2
+	if s.Links[l] {
+		return true
+	}
+	from, to := net.ChannelEnds(c)
+	return s.Switches[from] || s.Switches[to]
+}

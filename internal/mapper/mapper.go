@@ -16,11 +16,71 @@
 package mapper
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"itbsim/internal/topology"
 )
+
+// ErrMapperUnreachable is returned by Discover when the mapping host itself
+// is failed, or sits behind a failed switch: there is no live vantage point
+// to explore from, so the pass cannot even start. Distinguishing this from
+// an ordinary partial map matters to reconfiguration controllers — the
+// former means "pick another mapper host", the latter "the network shrank".
+var ErrMapperUnreachable = errors.New("mapper: mapping host cannot reach a live switch")
+
+// UnknownElementError reports a FaultSet entry naming an element the
+// network does not have. Probing would silently ignore it (an unknown ID
+// matches nothing), which is how configuration typos turn into partial
+// maps; validation turns them into errors instead.
+type UnknownElementError struct {
+	Kind string // "link", "switch", or "host"
+	ID   int
+}
+
+func (e *UnknownElementError) Error() string {
+	return fmt.Sprintf("mapper: fault set names unknown %s %d", e.Kind, e.ID)
+}
+
+// Validate checks a fault set against a network: every failed link, switch,
+// and host ID must exist. It returns an UnknownElementError for the first
+// (lowest-ID) unknown element of each kind checked in link, switch, host
+// order.
+func (f FaultSet) Validate(net *topology.Network) error {
+	if err := checkIDs(f.Links, len(net.Links), "link"); err != nil {
+		return err
+	}
+	if err := checkIDs(f.Switches, net.Switches, "switch"); err != nil {
+		return err
+	}
+	return checkIDs(f.Hosts, net.NumHosts(), "host")
+}
+
+func checkIDs(m map[int]bool, n int, kind string) error {
+	bad := -1
+	for id, failed := range m {
+		if !failed {
+			continue
+		}
+		if id < 0 || id >= n {
+			if bad < 0 || id < bad {
+				bad = id
+			}
+		}
+	}
+	if bad >= 0 {
+		return &UnknownElementError{Kind: kind, ID: bad}
+	}
+	return nil
+}
+
+// Validator is the optional interface a Prober can implement to have
+// Discover check its configuration before any probe is sent. NetworkProber
+// implements it; hardware-backed probers typically have nothing to check.
+type Validator interface {
+	Validate() error
+}
 
 // PortKind classifies what a probe found plugged into a port.
 type PortKind int
@@ -80,13 +140,18 @@ type Discovered struct {
 // Discover runs a full mapping pass: breadth-first over switches, probing
 // every port of every switch reached.
 func Discover(p Prober) (*Discovered, error) {
+	if v, ok := p.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	ports := p.Ports()
 	if ports < 1 {
 		return nil, fmt.Errorf("mapper: prober reports %d ports", ports)
 	}
 	root := p.MapperSwitch()
 	if root.Kind != SwitchPort {
-		return nil, fmt.Errorf("mapper: mapping host is not attached to a live switch")
+		return nil, fmt.Errorf("%w: mapping host is not attached to a live switch", ErrMapperUnreachable)
 	}
 
 	d := &Discovered{}

@@ -1,6 +1,10 @@
 package mapper
 
-import "itbsim/internal/topology"
+import (
+	"fmt"
+
+	"itbsim/internal/topology"
+)
 
 // FaultSet marks failed elements of a network. The zero value is the
 // fault-free network. Failed elements answer probes as if the cable were
@@ -55,6 +59,31 @@ func (p *NetworkProber) fingerprint(sw int) uint64 {
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 32
 	return x
+}
+
+// Fingerprint exposes the stable identity the prober would report for a
+// real switch. Reconfiguration controllers use it to translate discovered
+// switch IDs back to the physical network's IDs.
+func (p *NetworkProber) Fingerprint(sw int) uint64 { return p.fingerprint(sw) }
+
+// Validate implements Validator: the fault set must only name elements the
+// network has, the mapper host must exist, and neither it nor its switch
+// may be failed. Discover calls this before probing, so a misconfigured
+// prober yields a typed error instead of a silently partial map.
+func (p *NetworkProber) Validate() error {
+	if err := p.Faults.Validate(p.Net); err != nil {
+		return err
+	}
+	if p.MapperHost < 0 || p.MapperHost >= p.Net.NumHosts() {
+		return &UnknownElementError{Kind: "host", ID: p.MapperHost}
+	}
+	if p.Faults.Hosts[p.MapperHost] {
+		return fmt.Errorf("%w: mapper host %d is in the fault set", ErrMapperUnreachable, p.MapperHost)
+	}
+	if sw := p.Net.SwitchOf(p.MapperHost); p.Faults.Switches[sw] {
+		return fmt.Errorf("%w: mapper host %d sits on failed switch %d", ErrMapperUnreachable, p.MapperHost, sw)
+	}
+	return nil
 }
 
 // Ports implements Prober.

@@ -141,6 +141,22 @@ func WriteCSV(w io.Writer, points []ExportPoint) error {
 				}
 			}
 		}
+		if m.Traffic != nil {
+			for w := range m.Traffic.Delivered {
+				for _, row := range []struct {
+					field string
+					value string
+				}{
+					{"delivered", i(m.Traffic.Delivered[w])},
+					{"dropped", i(m.Traffic.Dropped[w])},
+					{"retransmits", i(m.Traffic.Retransmits[w])},
+				} {
+					if err := emit(p, "traffic_window", w, row.field, row.value); err != nil {
+						return err
+					}
+				}
+			}
+		}
 		for _, hist := range []struct {
 			name string
 			h    *Histogram

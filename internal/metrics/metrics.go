@@ -108,6 +108,14 @@ type Collector struct {
 	reinjects    []int64
 	backpressure []int64
 
+	// Network-wide per-window traffic series (messages delivered, packets
+	// dropped, retransmissions), cumulative-diffed like the link series.
+	// They make throughput dips and recovery after a fault visible.
+	delivPrev, dropPrev, retransPrev int64
+	delivSeries                      []uint32
+	dropSeries                       []uint32
+	retransSeries                    []uint32
+
 	samples int64 // boundary samples taken (== windows before rebinning)
 }
 
@@ -170,6 +178,24 @@ func (c *Collector) SampleHostPool(host, poolBytes int) {
 	}
 }
 
+// PrimeTraffic sets the traffic baseline at measurement start, so the first
+// window's deltas exclude whatever was delivered or dropped during warmup.
+// Call it alongside Start.
+func (c *Collector) PrimeTraffic(deliveredTotal, droppedTotal, retransmitsTotal int64) {
+	c.delivPrev, c.dropPrev, c.retransPrev = deliveredTotal, droppedTotal, retransmitsTotal
+}
+
+// SampleTraffic feeds the network-wide cumulative delivery, drop, and
+// retransmission counters at a window boundary; the collector differences
+// them against the previous boundary itself. Call once per window, before
+// CloseWindow.
+func (c *Collector) SampleTraffic(deliveredTotal, droppedTotal, retransmitsTotal int64) {
+	c.delivSeries = append(c.delivSeries, uint32(deliveredTotal-c.delivPrev))
+	c.dropSeries = append(c.dropSeries, uint32(droppedTotal-c.dropPrev))
+	c.retransSeries = append(c.retransSeries, uint32(retransmitsTotal-c.retransPrev))
+	c.delivPrev, c.dropPrev, c.retransPrev = deliveredTotal, droppedTotal, retransmitsTotal
+}
+
 // CloseWindow completes one window after every channel/switch/host has been
 // sampled, scheduling the next boundary and rebinning the series if it hit
 // the retention bound.
@@ -197,6 +223,16 @@ func (c *Collector) rebin() {
 		}
 	}
 	c.busySeries = c.busySeries[:half*c.channels]
+	for _, series := range []*[]uint32{&c.delivSeries, &c.dropSeries, &c.retransSeries} {
+		s := *series
+		if len(s) < 2*half {
+			continue // driver does not feed SampleTraffic
+		}
+		for w := 0; w < half; w++ {
+			s[w] = s[2*w] + s[2*w+1]
+		}
+		*series = s[:half]
+	}
 	c.windows = half
 	c.windowCycles *= 2
 }
@@ -267,6 +303,19 @@ func (c *Collector) Finalize(measuredCycles int64, cycleNs float64, ends func(ch
 		hm.PeakPoolBytes = int(c.poolPeak[h])
 		hm.BackpressureCycles = c.backpressure[h]
 	}
+	if len(c.delivSeries) == c.windows && c.windows > 0 {
+		t := &TrafficMetrics{
+			Delivered:   make([]int64, c.windows),
+			Dropped:     make([]int64, c.windows),
+			Retransmits: make([]int64, c.windows),
+		}
+		for w := 0; w < c.windows; w++ {
+			t.Delivered[w] = int64(c.delivSeries[w])
+			t.Dropped[w] = int64(c.dropSeries[w])
+			t.Retransmits[w] = int64(c.retransSeries[w])
+		}
+		m.Traffic = t
+	}
 	return m
 }
 
@@ -298,6 +347,12 @@ type Metrics struct {
 	Switches []SwitchMetrics `json:"switches"`
 	Hosts    []HostMetrics   `json:"hosts"`
 
+	// Traffic is the network-wide per-window delivery/drop/retransmission
+	// series (nil when the driver does not feed SampleTraffic, or on
+	// aggregated metrics whose replicas had different window shapes). It is
+	// the series that makes a fault's goodput dip and recovery visible.
+	Traffic *TrafficMetrics `json:"traffic,omitempty"`
+
 	// Latency is the histogram of total message latency (generation to
 	// last-flit delivery); NetLatency measures from first-flit injection.
 	Latency    *Histogram `json:"-"`
@@ -321,6 +376,16 @@ type LinkMetrics struct {
 	// Window is the per-window utilization series (nil on aggregated
 	// metrics whose replicas had different window shapes).
 	Window []float64 `json:"window,omitempty"`
+}
+
+// TrafficMetrics is the network-wide per-window traffic series: messages
+// delivered, packets dropped by fault events, and source retransmissions in
+// each window. All three slices have Metrics.Windows elements; counts are
+// totals across replicas on aggregated metrics.
+type TrafficMetrics struct {
+	Delivered   []int64 `json:"delivered"`
+	Dropped     []int64 `json:"dropped"`
+	Retransmits []int64 `json:"retransmits"`
 }
 
 // SwitchMetrics is one switch's input-buffer occupancy telemetry, sampled
@@ -433,6 +498,27 @@ func Aggregate(ms []*Metrics) *Metrics {
 			}
 			hm.BackpressureCycles += m.Hosts[i].BackpressureCycles
 		}
+	}
+	trafficShape := sameShape
+	for _, m := range live {
+		if m.Traffic == nil {
+			trafficShape = false
+		}
+	}
+	if trafficShape && first.Windows > 0 {
+		t := &TrafficMetrics{
+			Delivered:   make([]int64, first.Windows),
+			Dropped:     make([]int64, first.Windows),
+			Retransmits: make([]int64, first.Windows),
+		}
+		for _, m := range live {
+			for w := 0; w < first.Windows; w++ {
+				t.Delivered[w] += m.Traffic.Delivered[w]
+				t.Dropped[w] += m.Traffic.Dropped[w]
+				t.Retransmits[w] += m.Traffic.Retransmits[w]
+			}
+		}
+		out.Traffic = t
 	}
 	for _, m := range live {
 		if m.Latency != nil {

@@ -14,6 +14,10 @@ func driveCollector(t *testing.T, cfg Config, windows int) (*Collector, *Metrics
 	const channels, switches, hosts = 3, 2, 2
 	c := NewCollector(cfg, channels, switches, hosts)
 	c.Start(100)
+	// Warmup totals predate the measurement window; priming keeps them out
+	// of the first window's deltas.
+	delivered, dropped, retrans := int64(1000), int64(5), int64(2)
+	c.PrimeTraffic(delivered, dropped, retrans)
 	busy := make([]int64, channels)
 	cycle := int64(100)
 	for w := 0; w < windows; w++ {
@@ -26,6 +30,10 @@ func driveCollector(t *testing.T, cfg Config, windows int) (*Collector, *Metrics
 		c.SampleSwitchOcc(1, w) // varies: peak = windows-1
 		c.SampleHostPool(0, 1024)
 		c.SampleHostPool(1, 0)
+		delivered += 10
+		dropped += int64(w)
+		retrans++
+		c.SampleTraffic(delivered, dropped, retrans)
 		c.CloseWindow(cycle)
 	}
 	c.Eject(1)
@@ -83,6 +91,55 @@ func TestCollectorWindowsAndFinalize(t *testing.T) {
 	}
 	if m.Hosts[0].BackpressureCycles != 1 || m.Hosts[0].MeanPoolBytes != 1024 {
 		t.Errorf("host 0 metrics %+v", m.Hosts[0])
+	}
+}
+
+func TestTrafficSeries(t *testing.T) {
+	_, m := driveCollector(t, Config{WindowCycles: 64, MaxWindows: 512}, 10)
+	tr := m.Traffic
+	if tr == nil {
+		t.Fatal("no traffic series collected")
+	}
+	if len(tr.Delivered) != 10 || len(tr.Dropped) != 10 || len(tr.Retransmits) != 10 {
+		t.Fatalf("series lengths %d/%d/%d, want 10", len(tr.Delivered), len(tr.Dropped), len(tr.Retransmits))
+	}
+	for w := 0; w < 10; w++ {
+		if tr.Delivered[w] != 10 {
+			t.Errorf("window %d delivered %d, want 10 (priming leaked warmup?)", w, tr.Delivered[w])
+		}
+		if tr.Dropped[w] != int64(w) {
+			t.Errorf("window %d dropped %d, want %d", w, tr.Dropped[w], w)
+		}
+		if tr.Retransmits[w] != 1 {
+			t.Errorf("window %d retransmits %d, want 1", w, tr.Retransmits[w])
+		}
+	}
+
+	// Rebinning merges traffic windows pairwise, preserving totals.
+	_, r := driveCollector(t, Config{WindowCycles: 64, MaxWindows: 4}, 16)
+	if r.Traffic == nil || len(r.Traffic.Delivered) != r.Windows {
+		t.Fatalf("rebinned traffic series missing or misshapen: %+v", r.Traffic)
+	}
+	var total int64
+	for _, d := range r.Traffic.Delivered {
+		total += d
+	}
+	if total != 160 {
+		t.Errorf("rebinned delivered total %d, want 160", total)
+	}
+
+	// Aggregation sums counts across replicas of the same shape.
+	_, a := driveCollector(t, Config{WindowCycles: 64, MaxWindows: 512}, 10)
+	_, b := driveCollector(t, Config{WindowCycles: 64, MaxWindows: 512}, 10)
+	g := Aggregate([]*Metrics{a, b})
+	if g.Traffic == nil {
+		t.Fatal("aggregation dropped the traffic series of same-shape replicas")
+	}
+	if g.Traffic.Delivered[0] != 20 || g.Traffic.Retransmits[0] != 2 {
+		t.Errorf("aggregated traffic window 0: %+v", g.Traffic)
+	}
+	if a.Traffic.Delivered[0] != 10 {
+		t.Error("Aggregate modified its inputs")
 	}
 }
 
@@ -208,7 +265,7 @@ func TestExportDeterministic(t *testing.T) {
 	if head != strings.Join(CSVHeader, ",") {
 		t.Errorf("CSV header = %q", head)
 	}
-	for _, rec := range []string{"run,", "link,", "link_window,", "switch,", "host,", "latency,", "net_latency,", "latency_bucket,"} {
+	for _, rec := range []string{"run,", "link,", "link_window,", "switch,", "host,", "traffic_window,", "latency,", "net_latency,", "latency_bucket,"} {
 		if !strings.Contains(c1.String(), "\n"+rec) {
 			t.Errorf("CSV export missing %q records", rec)
 		}

@@ -50,6 +50,29 @@ func (f *fifo) take(n int) {
 	f.occ -= n
 }
 
+// purgeDead removes every run belonging to a dead packet and reports how
+// many flits were discarded. Only the fault machinery calls it; a healthy
+// run never interleaves with a dead one mid-stream because a killed
+// packet's remaining flits are discarded on arrival rather than buffered.
+func (f *fifo) purgeDead() int {
+	removed := 0
+	kept := f.segs[:0]
+	for _, seg := range f.segs[f.head:] {
+		if seg.pkt != nil && seg.pkt.dead {
+			removed += seg.flits
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	for i := len(kept); i < len(f.segs); i++ {
+		f.segs[i] = flitSeg{}
+	}
+	f.segs = kept
+	f.head = 0
+	f.occ -= removed
+	return removed
+}
+
 // popIfDone advances past the head run once it is drained and its tail has
 // passed, compacting the backing slice when it grows long. It reports
 // whether a run was popped.

@@ -27,6 +27,7 @@ type link struct {
 	recvNIC  int
 
 	stopped bool // sender-side view of the last control flit
+	down    bool // out of service (fault injection); senders must not push
 
 	flits   []flitInFlight
 	flHead  int
@@ -46,8 +47,12 @@ func (l *link) pushFlit(s *Sim, pkt *packet, tail bool) {
 	s.progress++
 }
 
-// pushSignal sends a stop/go control flit back to the sender.
+// pushSignal sends a stop/go control flit back to the sender. Signals on a
+// dead cable vanish; the sender-side state is resynchronized on repair.
 func (l *link) pushSignal(s *Sim, stop bool) {
+	if l.down {
+		return
+	}
 	l.signals = append(l.signals, signalInFlight{stop: stop, arrive: s.now + int64(s.p.LinkFlightCycles)})
 }
 

@@ -16,6 +16,7 @@ type reinjState struct {
 	queued   bool  // moved to the re-injection queue
 	toSend   int   // expected - 1 (the ITB mark is stripped)
 	sent     int
+	released bool // pool bytes returned (normal completion or purge)
 }
 
 // injection is the packet currently streaming out of the NIC.
@@ -66,6 +67,10 @@ type nic struct {
 
 // receive accepts one flit from the down-link.
 func (n *nic) receive(s *Sim, pkt *packet, tail bool) {
+	if pkt.dead {
+		// Trailing flits of a killed packet drain into the void.
+		return
+	}
 	if n.rxPkt != pkt {
 		if n.rxPkt != nil && n.rxCount != n.rxExpected {
 			panic(fmt.Sprintf("netsim: host %d: new packet while %d/%d flits of previous outstanding",
@@ -167,8 +172,9 @@ func (n *nic) tick(s *Sim) {
 	}
 
 	// Start the next injection when idle: in-transit packets first (they
-	// are re-injected "as soon as possible").
-	if !n.active {
+	// are re-injected "as soon as possible"). A NIC whose up-link is out
+	// of service holds its traffic; retry timers decide its fate.
+	if !n.active && !(s.fe != nil && s.fe.down[n.upLink]) {
 		if n.reinjH < len(n.reinjQ) {
 			r := n.reinjQ[n.reinjH]
 			n.reinjQ[n.reinjH] = nil
@@ -199,6 +205,7 @@ func (n *nic) tick(s *Sim) {
 				n.sendQH = 0
 			}
 			pkt.injectCycle = s.now
+			pkt.injected = true
 			n.cur = injection{pkt: pkt, toSend: pkt.wireFlits}
 			n.active = true
 			if s.cfg.Tracer != nil {
@@ -218,6 +225,9 @@ func (n *nic) tickTransfer(s *Sim) {
 		return
 	}
 	l := &s.links[n.upLink]
+	if l.down {
+		return
+	}
 	if l.stopped {
 		if s.measuring {
 			l.idleStopped++
@@ -242,11 +252,93 @@ func (n *nic) tickTransfer(s *Sim) {
 	if last {
 		if r := n.cur.reinj; r != nil {
 			r.sent = n.cur.sent
-			n.poolUsed -= r.expected
+			n.releasePool(r)
 		}
 		n.cur = injection{}
 		n.active = false
 	}
+}
+
+// releasePool returns an in-transit packet's pool reservation exactly once
+// (normal completion or fault purge, whichever comes first).
+func (n *nic) releasePool(r *reinjState) {
+	if !r.released {
+		r.released = true
+		n.poolUsed -= r.expected
+	}
+}
+
+// holdsActive reports whether pkt is the NIC's current injection.
+func (n *nic) holdsActive(pkt *packet) bool { return n.active && n.cur.pkt == pkt }
+
+// purgeSendQ drops dead packets from the source queue.
+func (n *nic) purgeSendQ() {
+	kept := n.sendQ[:0]
+	for _, p := range n.sendQ[n.sendQH:] {
+		if p != nil && !p.dead {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(n.sendQ); i++ {
+		n.sendQ[i] = nil
+	}
+	n.sendQ = kept
+	n.sendQH = 0
+}
+
+// purgeDead sweeps killed packets out of every NIC queue and state slot
+// after an event-time mass kill, releasing their pool reservations.
+func (n *nic) purgeDead(s *Sim) {
+	if n.rxPkt != nil && n.rxPkt.dead {
+		if n.rxReinj != nil {
+			n.releasePool(n.rxReinj)
+			n.rxReinj = nil
+		}
+		n.rxPkt = nil
+	}
+	if len(n.pending) > 0 {
+		kept := n.pending[:0]
+		for _, r := range n.pending {
+			if r.pkt.dead {
+				n.releasePool(r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		for i := len(kept); i < len(n.pending); i++ {
+			n.pending[i] = nil
+		}
+		n.pending = kept
+	}
+	if n.reinjH < len(n.reinjQ) {
+		kept := n.reinjQ[:0]
+		for _, r := range n.reinjQ[n.reinjH:] {
+			if r == nil {
+				continue
+			}
+			if r.pkt.dead {
+				n.releasePool(r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		for i := len(kept); i < len(n.reinjQ); i++ {
+			n.reinjQ[i] = nil
+		}
+		n.reinjQ = kept
+		n.reinjH = 0
+	} else {
+		n.reinjQ = n.reinjQ[:0]
+		n.reinjH = 0
+	}
+	if n.active && n.cur.pkt.dead {
+		if r := n.cur.reinj; r != nil {
+			n.releasePool(r)
+		}
+		n.cur = injection{}
+		n.active = false
+	}
+	n.purgeSendQ()
 }
 
 func min(a, b int) int {

@@ -75,6 +75,30 @@ type Params struct {
 	// packets are outstanding (deadlock detector; must never fire for the
 	// routing schemes under test).
 	WatchdogCycles int64
+
+	// The remaining fields time the fault-recovery machinery and are only
+	// consulted when Config.Faults schedules events; zero values are
+	// replaced by the fault defaults below at Sim construction.
+
+	// DetectionCycles is the delay between a topology change and the
+	// moment the reconfiguration controller notices it and starts a new
+	// mapping pass (the MCP's periodic topology check).
+	DetectionCycles int64
+	// ProbeCycles charges the mapping pass per probe packet sent; the
+	// discovery latency of a reconfiguration is Probes * ProbeCycles.
+	ProbeCycles int64
+	// DrainCycles is the window between the new tables being ready and
+	// the atomic per-NIC swap, letting in-flight traffic drain.
+	DrainCycles int64
+	// RetryTimeoutCycles is the per-message delivery timeout armed at
+	// generation: when it fires and the current transmission attempt is
+	// known dead, the source re-sends on the route the (possibly
+	// recomputed) table then offers. The timeout doubles on every retry
+	// of a message (bounded exponential backoff).
+	RetryTimeoutCycles int64
+	// RetryLimit caps transmission attempts per message; a message
+	// exceeding it is abandoned and counted in Result.LostMessages.
+	RetryLimit int
 }
 
 // DefaultParams returns the constants of §4.3–§4.5.
@@ -91,6 +115,40 @@ func DefaultParams() Params {
 		ITBPoolBytes:     90 * 1024,
 		SourceQueueCap:   32,
 		WatchdogCycles:   1_000_000,
+	}
+}
+
+// Fault-timing defaults, applied only when a fault plan is active so that
+// parameter sets predating the fault machinery stay valid unchanged.
+const (
+	defaultDetectionCycles    = 1024   // 6.4 µs between MCP topology checks
+	defaultProbeCycles        = 16     // 100 ns per probe round-trip
+	defaultDrainCycles        = 2048   // 12.8 µs drain before the table swap
+	defaultRetryTimeoutCycles = 50_000 // 312 µs host-level delivery timeout
+	defaultRetryLimit         = 4
+)
+
+// applyFaultDefaults fills zero fault-timing fields with the defaults; the
+// retry timeout is clamped under the deadlock watchdog so a run waiting on
+// a timer is never mistaken for a deadlock.
+func (p *Params) applyFaultDefaults() {
+	if p.DetectionCycles == 0 {
+		p.DetectionCycles = defaultDetectionCycles
+	}
+	if p.ProbeCycles == 0 {
+		p.ProbeCycles = defaultProbeCycles
+	}
+	if p.DrainCycles == 0 {
+		p.DrainCycles = defaultDrainCycles
+	}
+	if p.RetryTimeoutCycles == 0 {
+		p.RetryTimeoutCycles = defaultRetryTimeoutCycles
+		if p.WatchdogCycles > 0 && p.RetryTimeoutCycles >= p.WatchdogCycles {
+			p.RetryTimeoutCycles = p.WatchdogCycles / 2
+		}
+	}
+	if p.RetryLimit == 0 {
+		p.RetryLimit = defaultRetryLimit
 	}
 }
 
@@ -129,6 +187,16 @@ func (p Params) Validate() error {
 	}
 	if p.WatchdogCycles < 1000 {
 		return fmt.Errorf("netsim: watchdog below 1000 cycles would misfire")
+	}
+	if p.DetectionCycles < 0 || p.ProbeCycles < 0 || p.DrainCycles < 0 {
+		return fmt.Errorf("netsim: reconfiguration delays must be >= 0")
+	}
+	if p.RetryTimeoutCycles < 0 || p.RetryLimit < 0 {
+		return fmt.Errorf("netsim: retry timeout and limit must be >= 0")
+	}
+	if p.RetryTimeoutCycles > 0 && p.RetryTimeoutCycles >= p.WatchdogCycles {
+		return fmt.Errorf("netsim: retry timeout %d must stay below the watchdog %d",
+			p.RetryTimeoutCycles, p.WatchdogCycles)
 	}
 	return nil
 }

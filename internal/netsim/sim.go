@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 
+	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/routes"
 	"itbsim/internal/topology"
@@ -59,6 +60,18 @@ type Config struct {
 	// Tracer, when non-nil, receives packet life-cycle events (generate,
 	// inject, per-switch route, ITB eject/reinject, deliver).
 	Tracer Tracer
+
+	// Faults schedules link/switch failures and repairs at simulation
+	// cycles (see internal/faults and docs/FAULTS.md). A nil or empty
+	// plan keeps the fabric permanently healthy and the fault machinery
+	// entirely out of the cycle loop.
+	Faults *faults.Plan
+
+	// Reconfigurer recomputes routing tables after each topology change;
+	// typically a *faults.Controller. With a plan but no reconfigurer the
+	// simulator keeps the stale tables: packets crossing the fault are
+	// dropped and retried until RetryLimit abandons them.
+	Reconfigurer Reconfigurer
 
 	Params Params
 }
@@ -116,6 +129,32 @@ type Result struct {
 
 	Cycles    int64
 	Truncated bool // MaxCycles hit before MeasureMessages were delivered
+
+	// Message-level conservation accounting, over the whole run including
+	// warmup: GeneratedMessages = DeliveredMessages + LostMessages +
+	// OutstandingAtEnd always holds, faults or not.
+	GeneratedMessages int64
+	DeliveredMessages int64
+	// LostMessages were abandoned after RetryLimit failed attempts.
+	LostMessages int64
+	// OutstandingAtEnd counts messages still queued or in flight when the
+	// run stopped.
+	OutstandingAtEnd int64
+
+	// Packet-level fault accounting (zero without a fault plan). Every
+	// transmission attempt ends delivered, dropped, or still in flight:
+	// GeneratedMessages + Retransmits = DeliveredMessages +
+	// DroppedPackets + attempts alive at the end.
+	DroppedPackets int64
+	Drops          DropStats
+	Retransmits    int64
+
+	// Reconfigs records each completed routing-table swap; Stall carries
+	// the stalled-packet diagnostic of a truncated run (nil otherwise).
+	Reconfigs        []ReconfigStat
+	ReconfigFailures int64
+	ReconfigError    string
+	Stall            *StallDump
 }
 
 // ErrDeadlock is returned when no flit moves for Params.WatchdogCycles
@@ -131,6 +170,12 @@ type Sim struct {
 	cfg Config
 	p   Params
 	net *topology.Network
+
+	// table is the live routing table: cfg.Table until a reconfiguration
+	// swaps in a degraded-mode table.
+	table *routes.Table
+	// fe is the fault engine, nil when cfg.Faults is empty.
+	fe *faultEngine
 
 	now      int64
 	progress int64 // bumped on every flit movement and delivery
@@ -195,11 +240,17 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Params == (Params{}) {
 		cfg.Params = DefaultParams()
 	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.Net); err != nil {
+			return nil, err
+		}
+		cfg.Params.applyFaultDefaults()
+	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
 
-	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net}
+	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net, table: cfg.Table}
 	s.numChannels = cfg.Net.NumChannels()
 	s.numHosts = cfg.Net.NumHosts()
 	s.latHist = metrics.NewHistogram()
@@ -220,6 +271,9 @@ func New(cfg Config) (*Sim, error) {
 	}
 
 	s.build()
+	if !cfg.Faults.Empty() {
+		s.fe = newFaultEngine(s, cfg.Faults, cfg.Reconfigurer)
+	}
 	return s, nil
 }
 
@@ -291,7 +345,31 @@ func (s *Sim) generate(n *nic) {
 	if dst < 0 || dst >= s.numHosts || dst == n.host {
 		panic(fmt.Sprintf("netsim: Dest returned invalid destination %d for source %d", dst, n.host))
 	}
-	r := s.cfg.Table.Route(n.host, dst)
+	if s.fe != nil {
+		// Fault-aware path: the message survives across transmission
+		// attempts; dispatch performs the route lookup (which may fail on
+		// a degraded table) and arms the delivery timeout.
+		m := &msgState{
+			src:      n.host,
+			dst:      dst,
+			payload:  s.cfg.MessageBytes,
+			genCycle: s.now,
+			measured: s.measuring,
+			seq:      s.nextPktID,
+		}
+		s.nextPktID++
+		s.generatedTotal++
+		s.outstanding++
+		if s.measuring {
+			s.windowInjectedFlits += int64(m.payload)
+		}
+		if s.cfg.Tracer != nil {
+			s.trace(Event{Kind: EvGenerate, Packet: m.seq, Host: n.host})
+		}
+		s.dispatch(m)
+		return
+	}
+	r := s.table.Route(n.host, dst)
 	p := &packet{
 		id:       s.nextPktID,
 		srcHost:  n.host,
@@ -319,6 +397,9 @@ func (s *Sim) deliver(p *packet) {
 	s.deliveredTotal++
 	s.outstanding--
 	s.progress++
+	if p.msg != nil {
+		p.msg.done = true // the pending retry timer sees this and expires
+	}
 	if s.cfg.Tracer != nil {
 		s.trace(Event{Kind: EvDeliver, Packet: p.id, Host: p.dstHost})
 	}
@@ -349,6 +430,11 @@ func (s *Sim) deliver(p *packet) {
 
 // step advances the simulation by one cycle.
 func (s *Sim) step() {
+	// 0. Fault engine: one comparison per cycle while asleep; plan
+	// events, retry timers, and reconfiguration phases fire on wake-ups.
+	if s.fe != nil && s.now >= s.fe.nextWake {
+		s.fe.wake(s)
+	}
 	// 1. Links deliver arrived flits and control signals.
 	for i := range s.links {
 		l := &s.links[i]
@@ -371,6 +457,14 @@ func (s *Sim) step() {
 	}
 	for i := range s.nics {
 		s.nics[i].tickTransfer(s)
+	}
+	// A packet killed mid-cycle (its route crossed a link that failed) may
+	// still have its body stretched across upstream switches and its source
+	// NIC; sweep that state now so their connections tear down instead of
+	// waiting forever for a tail flit the dead-packet guards discard.
+	if s.fe != nil && s.fe.needPurge {
+		s.fe.needPurge = false
+		s.purgeDeadState()
 	}
 	s.now++
 	// Windowed metrics sampling: one comparison per cycle, a full network
@@ -395,6 +489,11 @@ func (s *Sim) sampleMetrics() {
 	for h := range s.nics {
 		s.mx.SampleHostPool(h, s.nics[h].poolUsed)
 	}
+	var dropped, retrans int64
+	if s.fe != nil {
+		dropped, retrans = s.fe.droppedPackets, s.fe.retransmits
+	}
+	s.mx.SampleTraffic(s.deliveredTotal, dropped, retrans)
 	s.mx.CloseWindow(s.now)
 }
 
@@ -416,7 +515,7 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 	if payloadBytes < 1 {
 		return 0, fmt.Errorf("netsim: payload must be >= 1 byte")
 	}
-	r := s.cfg.Table.Route(src, dst)
+	r := s.table.Route(src, dst)
 	p := &packet{
 		id:       s.nextPktID,
 		srcHost:  src,
@@ -447,6 +546,11 @@ func (s *Sim) RunUntilDrained() (*Result, error) {
 		s.measureStart = s.now
 		if s.mx != nil {
 			s.mx.Start(s.now)
+			var dropped, retrans int64
+			if s.fe != nil {
+				dropped, retrans = s.fe.droppedPackets, s.fe.retransmits
+			}
+			s.mx.PrimeTraffic(s.deliveredTotal, dropped, retrans)
 		}
 	}
 	lastProgress := int64(-1)
@@ -461,7 +565,7 @@ func (s *Sim) RunUntilDrained() (*Result, error) {
 			lastProgress = s.progress
 			lastProgressAt = s.now
 		} else if s.now-lastProgressAt > s.p.WatchdogCycles {
-			return nil, fmt.Errorf("%w: %d packets outstanding at cycle %d", ErrDeadlock, s.outstanding, s.now)
+			return nil, s.deadlockError()
 		}
 		s.step()
 	}
@@ -495,6 +599,11 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 			s.measureStart = s.now
 			if s.mx != nil {
 				s.mx.Start(s.now)
+				var dropped, retrans int64
+				if s.fe != nil {
+					dropped, retrans = s.fe.droppedPackets, s.fe.retransmits
+				}
+				s.mx.PrimeTraffic(s.deliveredTotal, dropped, retrans)
 			}
 		}
 		if s.measuring && s.measCount >= int64(s.cfg.MeasureMessages) {
@@ -515,7 +624,7 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 			lastProgress = s.progress
 			lastProgressAt = s.now
 		} else if s.outstanding > 0 && s.now-lastProgressAt > s.p.WatchdogCycles {
-			return nil, fmt.Errorf("%w: %d packets outstanding at cycle %d", ErrDeadlock, s.outstanding, s.now)
+			return nil, s.deadlockError()
 		}
 		s.step()
 	}
@@ -527,6 +636,21 @@ func (s *Sim) finalize(truncated bool) *Result {
 		DeliveredMeasured: s.measCount,
 		Cycles:            s.now,
 		Truncated:         truncated,
+		GeneratedMessages: s.generatedTotal,
+		DeliveredMessages: s.deliveredTotal,
+		OutstandingAtEnd:  s.outstanding,
+	}
+	if s.fe != nil {
+		res.DroppedPackets = s.fe.droppedPackets
+		res.Drops = s.fe.drops
+		res.Retransmits = s.fe.retransmits
+		res.LostMessages = s.fe.lost
+		res.Reconfigs = s.fe.reconfigs
+		res.ReconfigFailures = s.fe.reconfigFails
+		res.ReconfigError = s.fe.reconfigErr
+	}
+	if truncated && s.outstanding > 0 {
+		res.Stall = s.stallDump(maxStalledReported)
 	}
 	if s.measCount > 0 {
 		res.AvgLatencyNs = s.latHist.Mean()

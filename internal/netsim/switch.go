@@ -32,6 +32,11 @@ type inPort struct {
 // stop/go flow control. If this flit starts a new head packet, the packet's
 // output request is registered.
 func (ip *inPort) receive(s *Sim, pkt *packet, tail bool) {
+	if pkt.dead {
+		// Trailing flits of a killed packet drain into the void; the
+		// buffered part was removed when the packet was killed.
+		return
+	}
 	wasHeadless := ip.buf.headSeg() == nil
 	ip.buf.push(pkt, 1, tail)
 	if ip.buf.occ > s.p.SlackBufferFlits {
@@ -48,13 +53,30 @@ func (ip *inPort) receive(s *Sim, pkt *packet, tail bool) {
 
 // requestRouting registers the head packet's output request with the
 // requested output port. The head run always carries at least the route
-// flit when this is called.
+// flit when this is called. A head packet whose source route crosses a
+// link that has since failed is discarded on the spot (there is no way to
+// re-route a wormhole packet mid-network); the next buffered packet then
+// gets its chance, until one requests a live output or the buffer drains.
 func (ip *inPort) requestRouting(s *Sim) {
-	hs := ip.buf.headSeg()
-	oi := s.outPortOfLink[hs.pkt.nextLink(s)]
-	ip.pendingOut = oi
-	s.outPorts[oi].reqMask |= 1 << uint(ip.localIdx)
-	s.switches[ip.sw].waiting++
+	for {
+		hs := ip.buf.headSeg()
+		if hs == nil {
+			return
+		}
+		lnk := hs.pkt.nextLink(s)
+		if s.fe == nil || !s.fe.down[lnk] {
+			oi := s.outPortOfLink[lnk]
+			ip.pendingOut = oi
+			s.outPorts[oi].reqMask |= 1 << uint(ip.localIdx)
+			s.switches[ip.sw].waiting++
+			return
+		}
+		s.fe.kill(s, hs.pkt, DropDeadOutput)
+		ip.buf.purgeDead()
+		if !s.links[ip.link].down {
+			ip.consumed(s)
+		}
+	}
 }
 
 // consumed updates flow control after flits leave the buffer.

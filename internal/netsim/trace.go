@@ -20,6 +20,18 @@ const (
 	EvReinject
 	// EvDeliver: the last flit arrived at the final destination.
 	EvDeliver
+	// EvDrop: the packet was destroyed by a fault (flits on a dead link,
+	// blocked at a dead output, or no surviving route). Link carries the
+	// drop reason as a DropReason value.
+	EvDrop
+	// EvRetry: the source host re-sent the message after a delivery
+	// timeout; a fresh packet with the same ID continues the life cycle.
+	EvRetry
+	// EvReconfig: the reconfiguration controller swapped the routing
+	// tables. Packet is unused; Switch carries the reconfiguration count.
+	EvReconfig
+
+	numEventKinds
 )
 
 func (k EventKind) String() string {
@@ -36,6 +48,12 @@ func (k EventKind) String() string {
 		return "reinject"
 	case EvDeliver:
 		return "deliver"
+	case EvDrop:
+		return "drop"
+	case EvRetry:
+		return "retry"
+	case EvReconfig:
+		return "reconfig"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -108,7 +126,7 @@ func (r *RingTracer) Events() []Event {
 
 // CountTracer counts events by kind.
 type CountTracer struct {
-	Counts [6]int64
+	Counts [numEventKinds]int64
 }
 
 // Trace implements Tracer.

@@ -128,6 +128,33 @@ type Table struct {
 	sel Selector   // optional policy override, see SetSelector
 }
 
+// NewTable assembles a table from externally computed route alternatives,
+// indexed [srcSwitch][dstSwitch] over net's switches. It is the constructor
+// for tables whose routes were not built by Build on net itself — most
+// importantly degraded-mode tables recomputed on a rediscovered topology and
+// translated back to the original network's channel IDs (internal/faults).
+// Pairs may be left nil or empty when no route survives; Lookup reports
+// those as unreachable. Round-robin selection state is allocated exactly as
+// Build would for the scheme.
+func NewTable(net *topology.Network, scheme Scheme, alts [][][]*Route) (*Table, error) {
+	if len(alts) != net.Switches {
+		return nil, fmt.Errorf("routes: NewTable: %d switch rows for a %d-switch network", len(alts), net.Switches)
+	}
+	for s := range alts {
+		if len(alts[s]) != net.Switches {
+			return nil, fmt.Errorf("routes: NewTable: row %d has %d columns, want %d", s, len(alts[s]), net.Switches)
+		}
+	}
+	t := &Table{Net: net, Scheme: scheme, Alts: alts}
+	if scheme == ITBRR || scheme == UpDownMin {
+		t.rr = make([][]uint32, net.NumHosts())
+		for h := range t.rr {
+			t.rr[h] = make([]uint32, net.Switches)
+		}
+	}
+	return t, nil
+}
+
 // Build computes the routing table for a network under the given config.
 func Build(net *topology.Network, cfg Config) (*Table, error) {
 	if cfg.MaxAlternatives <= 0 {
@@ -263,7 +290,24 @@ func routeFromSplitWithHosts(net *topology.Network, sp itbroute.Split, salt int)
 func (t *Table) Route(srcHost, dstHost int) *Route {
 	s := t.Net.SwitchOf(srcHost)
 	d := t.Net.SwitchOf(dstHost)
+	return t.pick(srcHost, d, t.Alts[s][d])
+}
+
+// Lookup is Route for tables that may be partial: degraded-mode tables
+// built after faults can have switch pairs with no surviving route, for
+// which Lookup returns nil instead of selecting from an empty alternative
+// list. Selection state advances exactly as in Route.
+func (t *Table) Lookup(srcHost, dstHost int) *Route {
+	s := t.Net.SwitchOf(srcHost)
+	d := t.Net.SwitchOf(dstHost)
 	alts := t.Alts[s][d]
+	if len(alts) == 0 {
+		return nil
+	}
+	return t.pick(srcHost, d, alts)
+}
+
+func (t *Table) pick(srcHost, d int, alts []*Route) *Route {
 	if len(alts) == 1 {
 		return alts[0]
 	}

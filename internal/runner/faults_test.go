@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"itbsim/internal/faults"
+	"itbsim/internal/metrics"
+	"itbsim/internal/netsim"
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// busiestLink returns the physical link a routing table leans on most, so
+// failing it is guaranteed to disturb traffic whatever the scheme's route
+// shapes are.
+func busiestLink(tab *routes.Table, net *topology.Network) int {
+	use := make([]int, len(net.Links))
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			for _, r := range tab.Alternatives(s, d) {
+				for _, seg := range r.Segs {
+					for _, c := range seg.Channels {
+						use[c/2]++
+					}
+				}
+			}
+		}
+	}
+	best := 0
+	for l, n := range use {
+		if n > use[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// TestFaultedDeterminismAcrossParallelism extends the runner's core
+// determinism contract to faulted runs: a spec with a mid-run link failure
+// and online reconfiguration must produce byte-identical reports at
+// parallel=1 and parallel=8. Under -race this also proves the per-job
+// reconfiguration controllers share no state across workers.
+func TestFaultedDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net := testNet(t)
+	spec := func(parallel int) Spec {
+		s := testSpec(t, net)
+		s.Patterns = []Pattern{{Kind: "uniform"}}
+		s.MeasureMessages = 600 // long enough for detect+probe+drain+swap
+		s.Faults = (&faults.Plan{}).FailLinkAt(5, 10_000)
+		s.Parallel = parallel
+		return s
+	}
+
+	repSeq, err := Run(spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPar, err := Run(spec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stripTiming(repSeq)
+	stripTiming(repPar)
+	if !reflect.DeepEqual(repSeq, repPar) {
+		t.Error("faulted reports diverge between parallel=1 and parallel=8")
+	}
+	var reconfigured bool
+	for i := range repSeq.Curves {
+		for _, p := range repSeq.Curves[i].Curve.Points {
+			if p.Result != nil && len(p.Result.Reconfigs) > 0 {
+				reconfigured = true
+			}
+		}
+	}
+	if !reconfigured {
+		t.Error("no point reconfigured; the fault plan never reached the jobs")
+	}
+}
+
+// TestFaultPlanValidatedUpFront: a plan naming elements the network does
+// not have must fail Spec validation before any job runs.
+func TestFaultPlanValidatedUpFront(t *testing.T) {
+	net := testNet(t)
+	spec := testSpec(t, net)
+	spec.Faults = (&faults.Plan{}).FailLinkAt(len(net.Links)+7, 1000)
+	if _, err := Run(spec); err == nil {
+		t.Fatal("out-of-range fault plan accepted")
+	}
+}
+
+// TestSingleLinkFailureRecoveryMediumTorus is the acceptance scenario of
+// the fault subsystem: on the paper's 8x8 torus fabric, kill the busiest
+// link mid-measurement under every scheme and require the run to finish
+// without hanging, conserve messages, reroute retried packets over the
+// recomputed tables, and show the throughput dip and recovery in the
+// windowed traffic telemetry.
+func TestSingleLinkFailureRecoveryMediumTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	net, err := topology.NewTorus(8, 8, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR} {
+		t.Run(sch.String(), func(t *testing.T) {
+			tab, err := routes.Build(net, routes.DefaultConfig(sch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := netsim.DefaultParams()
+			params.RetryTimeoutCycles = 2000
+			spec := Spec{
+				Net:             net,
+				Schemes:         []routes.Scheme{sch},
+				Patterns:        []Pattern{{Kind: "uniform"}},
+				Loads:           []float64{0.01},
+				MessageBytes:    512,
+				Seed:            1,
+				WarmupMessages:  200,
+				MeasureMessages: 2000,
+				MaxCycles:       12_000_000,
+				Params:          params,
+				Faults:          (&faults.Plan{}).FailLinkAt(busiestLink(tab, net), 60_000),
+				Metrics:         &metrics.Config{WindowCycles: 8192},
+			}
+			rep, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := rep.Curves[0].Curve.Points[0].Result
+			if res.Truncated {
+				t.Fatalf("faulted run truncated: %v", res.Stall)
+			}
+			if got := res.DeliveredMessages + res.LostMessages + res.OutstandingAtEnd; got != res.GeneratedMessages {
+				t.Errorf("conservation broken: generated %d, accounted %d", res.GeneratedMessages, got)
+			}
+			if len(res.Reconfigs) != 1 {
+				t.Fatalf("expected 1 reconfiguration, got %d (%s)", len(res.Reconfigs), res.ReconfigError)
+			}
+			rc := res.Reconfigs[0]
+			if rc.LostHosts != 0 {
+				t.Errorf("one link down lost %d hosts on a torus", rc.LostHosts)
+			}
+			if res.DroppedPackets == 0 || res.Retransmits == 0 {
+				t.Errorf("failure under load should drop and retry: dropped=%d retransmits=%d",
+					res.DroppedPackets, res.Retransmits)
+			}
+			if res.LostMessages != 0 {
+				t.Errorf("%d messages lost although the degraded torus stays connected", res.LostMessages)
+			}
+			if res.Cycles <= rc.SwapCycle {
+				t.Fatalf("run ended at %d, before the table swap at %d", res.Cycles, rc.SwapCycle)
+			}
+
+			// The traffic series must show the dip — a window where packets
+			// died — and the recovery: deliveries flowing again afterwards.
+			tr := res.Metrics.Traffic
+			if tr == nil {
+				t.Fatal("no traffic series collected")
+			}
+			dip := -1
+			for w, d := range tr.Dropped {
+				if d > 0 {
+					dip = w
+					break
+				}
+			}
+			if dip < 0 {
+				t.Fatal("no traffic window recorded the drops")
+			}
+			var after int64
+			for w := dip + 1; w < len(tr.Delivered); w++ {
+				after += tr.Delivered[w]
+			}
+			if after == 0 {
+				t.Errorf("no deliveries after the dip at window %d: throughput never recovered", dip)
+			}
+		})
+	}
+}

@@ -70,8 +70,16 @@ func (l *logReporter) JobStarted(j Job) {
 }
 
 func (l *logReporter) PointDone(j Job, load float64, res *netsim.Result) {
-	fmt.Fprintf(l.w, "point %s load=%.4f accepted=%.5f latency=%.0fns\n",
+	fmt.Fprintf(l.w, "point %s load=%.4f accepted=%.5f latency=%.0fns",
 		j.Label, load, res.Accepted, res.AvgLatencyNs)
+	if res.DroppedPackets > 0 || res.Retransmits > 0 || res.LostMessages > 0 {
+		fmt.Fprintf(l.w, " dropped=%d retransmits=%d lost=%d",
+			res.DroppedPackets, res.Retransmits, res.LostMessages)
+	}
+	if res.Truncated {
+		fmt.Fprintf(l.w, " TRUNCATED at %d cycles", res.Cycles)
+	}
+	fmt.Fprintln(l.w)
 }
 
 func (l *logReporter) JobDone(cr *CurveResult) {
@@ -82,6 +90,42 @@ func (l *logReporter) JobDone(cr *CurveResult) {
 	fmt.Fprintf(l.w, "done  %s: %d points, table %.1fms, sim %.0fms\n",
 		cr.Job.Label, len(cr.Curve.Points),
 		float64(cr.TableBuild.Microseconds())/1000, float64(cr.Sim.Milliseconds()))
+	for _, w := range cr.Warnings() {
+		fmt.Fprintf(l.w, "warn  %s: %s\n", cr.Job.Label, w)
+	}
+}
+
+// Warnings lists the partial-result conditions of a finished curve —
+// truncated points with their stalled-packet diagnostics, failed
+// reconfigurations, abandoned messages — one human-readable line each.
+// Empty for clean runs. The same lines back the log reporter's "warn"
+// output and the JSON report's per-curve "warnings" array.
+func (cr *CurveResult) Warnings() []string {
+	var out []string
+	for _, p := range cr.Curve.Points {
+		res := p.Result
+		if res == nil {
+			continue
+		}
+		if res.Truncated {
+			w := fmt.Sprintf("load %g truncated at %d cycles", p.Load, res.Cycles)
+			if res.Stall != nil && len(res.Stall.Oldest) > 0 {
+				o := res.Stall.Oldest[0]
+				w += fmt.Sprintf(" with %d packets stalled (oldest %d->%d, %d cycles, at %s)",
+					res.Stall.Outstanding, o.Src, o.Dst, o.AgeCycles, o.Where)
+			}
+			out = append(out, w)
+		}
+		if res.ReconfigFailures > 0 {
+			out = append(out, fmt.Sprintf("load %g: %d reconfiguration failures (%s); stale tables kept",
+				p.Load, res.ReconfigFailures, res.ReconfigError))
+		}
+		if res.LostMessages > 0 {
+			out = append(out, fmt.Sprintf("load %g: %d messages abandoned after the retry limit",
+				p.Load, res.LostMessages))
+		}
+	}
+	return out
 }
 
 // MetricsPoints flattens the report's telemetry into labelled export
@@ -155,6 +199,7 @@ type jsonCurve struct {
 	TableBuildMs float64     `json:"table_build_ms"`
 	SimMs        float64     `json:"sim_ms"`
 	Error        string      `json:"error,omitempty"`
+	Warnings     []string    `json:"warnings,omitempty"`
 	Points       []jsonPoint `json:"points"`
 }
 
@@ -170,6 +215,21 @@ type jsonPoint struct {
 	Delivered    int64   `json:"delivered"`
 	Cycles       int64   `json:"cycles"`
 	Truncated    bool    `json:"truncated,omitempty"`
+
+	// Fault accounting, present only on faulted runs.
+	Dropped          int64          `json:"dropped,omitempty"`
+	Retransmits      int64          `json:"retransmits,omitempty"`
+	Lost             int64          `json:"lost,omitempty"`
+	Reconfigs        []jsonReconfig `json:"reconfigs,omitempty"`
+	ReconfigFailures int64          `json:"reconfig_failures,omitempty"`
+}
+
+type jsonReconfig struct {
+	EventCycle  int64 `json:"event_cycle"`
+	DetectCycle int64 `json:"detect_cycle"`
+	SwapCycle   int64 `json:"swap_cycle"`
+	Probes      int   `json:"probes"`
+	LostHosts   int   `json:"lost_hosts"`
 }
 
 // WriteJSON emits the report — curves, per-job timing, wall clock — as
@@ -193,23 +253,38 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		if cr.Err != nil {
 			jc.Error = cr.Err.Error()
 		}
+		jc.Warnings = cr.Warnings()
 		for _, p := range cr.Curve.Points {
 			if p.Result == nil {
 				continue
 			}
-			jc.Points = append(jc.Points, jsonPoint{
-				Load:         p.Load,
-				Accepted:     p.Result.Accepted,
-				Injected:     p.Result.Injected,
-				AvgLatencyNs: p.Result.AvgLatencyNs,
-				P50Ns:        p.Result.LatencyP50Ns,
-				P95Ns:        p.Result.LatencyP95Ns,
-				P99Ns:        p.Result.LatencyP99Ns,
-				AvgITBs:      p.Result.AvgITBsPerMessage,
-				Delivered:    p.Result.DeliveredMeasured,
-				Cycles:       p.Result.Cycles,
-				Truncated:    p.Result.Truncated,
-			})
+			jp := jsonPoint{
+				Load:             p.Load,
+				Accepted:         p.Result.Accepted,
+				Injected:         p.Result.Injected,
+				AvgLatencyNs:     p.Result.AvgLatencyNs,
+				P50Ns:            p.Result.LatencyP50Ns,
+				P95Ns:            p.Result.LatencyP95Ns,
+				P99Ns:            p.Result.LatencyP99Ns,
+				AvgITBs:          p.Result.AvgITBsPerMessage,
+				Delivered:        p.Result.DeliveredMeasured,
+				Cycles:           p.Result.Cycles,
+				Truncated:        p.Result.Truncated,
+				Dropped:          p.Result.DroppedPackets,
+				Retransmits:      p.Result.Retransmits,
+				Lost:             p.Result.LostMessages,
+				ReconfigFailures: p.Result.ReconfigFailures,
+			}
+			for _, rc := range p.Result.Reconfigs {
+				jp.Reconfigs = append(jp.Reconfigs, jsonReconfig{
+					EventCycle:  rc.EventCycle,
+					DetectCycle: rc.DetectCycle,
+					SwapCycle:   rc.SwapCycle,
+					Probes:      rc.Probes,
+					LostHosts:   rc.LostHosts,
+				})
+			}
+			jc.Points = append(jc.Points, jp)
 		}
 		out.Curves = append(out.Curves, jc)
 	}

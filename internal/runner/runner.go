@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
@@ -96,6 +97,17 @@ type Spec struct {
 	// Params overrides the Myrinet timing constants; zero means defaults.
 	Params netsim.Params
 
+	// Faults schedules link/switch failures (and repairs) on every load
+	// point of every job; each job gets its own reconfiguration
+	// controller (internal/faults) that re-discovers the degraded
+	// topology and swaps recomputed tables into the running simulation.
+	// Nil or empty keeps every run on a healthy fabric.
+	Faults *faults.Plan
+	// FaultMapperHost is the host running the mapping software during
+	// reconfiguration (default host 0); its switch must survive the
+	// plan's failures for recovery to succeed.
+	FaultMapperHost int
+
 	// Parallel is the worker-goroutine count; 0 means GOMAXPROCS.
 	Parallel int
 	// Context cancels in-flight simulations between cycles and skips
@@ -157,6 +169,11 @@ func (s Spec) normalized() (Spec, []Job, error) {
 	}
 	if len(s.Loads) == 0 {
 		return s, nil, fmt.Errorf("runner: Spec needs at least one load")
+	}
+	if !s.Faults.Empty() {
+		if err := s.Faults.Validate(s.Net); err != nil {
+			return s, nil, fmt.Errorf("runner: %w", err)
+		}
 	}
 	if s.Table != nil && len(s.Schemes) > 0 {
 		return s, nil, fmt.Errorf("runner: set Spec.Table or Spec.Schemes, not both")
@@ -328,6 +345,14 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 		return cr
 	}
 
+	// Each job owns one reconfiguration controller: jobs run on separate
+	// goroutines (the controller memo is not locked), while the load
+	// points within a job share memoized degraded-table builds.
+	var reconf netsim.Reconfigurer
+	if !s.Faults.Empty() {
+		reconf = faults.NewController(s.Net, s.FaultMapperHost, s.RouteConfig(j.Scheme))
+	}
+
 	simStart := time.Now()
 	defer func() { cr.Sim = time.Since(simStart) }()
 	countdown := -1 // points left after saturation; -1 = not yet saturated
@@ -349,6 +374,8 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 			CollectLinkUtil: s.CollectLinkUtil,
 			Metrics:         s.Metrics,
 			Params:          s.Params,
+			Faults:          s.Faults,
+			Reconfigurer:    reconf,
 		})
 		if err != nil {
 			cr.Err = fmt.Errorf("load %g: %w", load, err)

@@ -36,6 +36,7 @@ package itbsim
 import (
 	"io"
 
+	"itbsim/internal/faults"
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
 	"itbsim/internal/topology"
@@ -81,6 +82,36 @@ type Result = netsim.Result
 
 // DestFn chooses message destinations; see the traffic constructors.
 type DestFn = netsim.DestFn
+
+// FaultPlan schedules link/switch failures and repairs at simulation
+// cycles; set it on SimConfig.Faults (or RunSpec.Faults) to exercise
+// degraded-mode routing. See docs/FAULTS.md.
+type FaultPlan = faults.Plan
+
+// FaultController recomputes routing tables on the surviving topology
+// after each failure; set one on SimConfig.Reconfigurer (RunSpec wires a
+// per-curve controller automatically).
+type FaultController = faults.Controller
+
+// ReconfigStat records one completed mid-run routing reconfiguration.
+type ReconfigStat = netsim.ReconfigStat
+
+// DropStats breaks Result.DroppedPackets down by cause.
+type DropStats = netsim.DropStats
+
+// StallDump is the stalled-packet diagnostic of a truncated run.
+type StallDump = netsim.StallDump
+
+// ParseFaultPlan parses the -faults command-line syntax, e.g.
+// "link:12@200000,+link:12@800000".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return faults.ParsePlan(s) }
+
+// NewFaultController returns a reconfiguration controller that re-runs
+// topology discovery from mapperHost and rebuilds cfg's routes on the
+// degraded graph.
+func NewFaultController(net *Network, mapperHost int, cfg BuildRoutesConfig) *FaultController {
+	return faults.NewController(net, mapperHost, cfg)
+}
 
 // NewTorus builds a rows×cols 2-D torus with hostsPerSwitch hosts per
 // 16-port switch. The paper's configuration is NewTorus(8, 8, 8).
