@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test docs race race-determinism faults bench clean
+.PHONY: all build vet test docs race race-determinism faults bench bench-lowload profile clean
 
 all: build vet test docs
 
@@ -22,9 +22,13 @@ test:
 
 # Full suite under the race detector. Slow; the simulator itself is
 # single-threaded per job, so this mainly exercises the runner pool,
-# the table cache, and the reporter serialization.
+# the table cache, and the reporter serialization. The explicit second
+# line forces the active-set scheduler invariants to re-run uncached:
+# the stranded-work property scan, the dense-scan equivalence goldens,
+# and the shared-table round-robin isolation.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'ActiveSetNeverStrandsWork|ActiveSetMatchesDense|SharedTableConcurrentRuns' ./internal/netsim/
 
 # The parallel-correctness core: byte-identical results across worker
 # counts, single-flight table builds, and cancellation — all under -race.
@@ -43,6 +47,20 @@ faults:
 # Figure-7 suite wall-clock, sequential vs parallel=NumCPU.
 bench:
 	$(GO) test -bench RunnerParallelFigure7 -benchtime=1x -run '^$$' .
+
+# Active-set scheduler vs the legacy dense scan, at low load (the regime
+# the scheduler exists for; must be >=2x) and at saturation (bookkeeping
+# overhead; must stay within 5%). Records the numbers in BENCH_4.json.
+bench-lowload:
+	sh scripts/bench_lowload.sh
+
+# CPU + heap profile of a two-point sweep (one low-load point, one near
+# saturation) via the -cpuprofile/-memprofile flags every tool accepts.
+# Inspect with: $(GO) tool pprof cpu.pprof  (profiles are per-job labelled)
+profile: build
+	$(GO) run ./cmd/sweep -topo torus -scale medium -loads 0.002,0.014 \
+		-parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
 clean:
 	$(GO) clean ./...

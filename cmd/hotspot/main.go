@@ -34,9 +34,19 @@ func main() {
 	common := cli.AddCommon(fs)
 	run := cli.AddRun(fs)
 	locations := fs.Int("locations", 10, "number of random hotspot locations")
+	prof := cli.AddProfile(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	env, err := common.Env()
 	if err != nil {

@@ -35,9 +35,19 @@ func main() {
 	load := fs.Float64("load", 0.01, "injection rate in flits/ns/switch")
 	util := fs.Bool("util", false, "collect and print link utilization")
 	trace := fs.Int("trace", 0, "print the last N packet life-cycle events (single scheme only)")
+	prof := cli.AddProfile(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	env, err := common.Env()
 	if err != nil {

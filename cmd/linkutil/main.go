@@ -43,9 +43,19 @@ func main() {
 	pngPrefix := fs.String("png", "", "also write heat maps as <prefix>-<scheme>.png (tori only)")
 	metricsOut := fs.String("metrics", "",
 		"collect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)")
+	prof := cli.AddProfile(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	env, err := common.Env()
 	if err != nil {

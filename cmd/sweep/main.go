@@ -43,12 +43,22 @@ func main() {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	common := cli.AddCommon(fs)
 	run := cli.AddRun(fs)
+	prof := cli.AddProfile(fs)
 	loadsFlag := fs.String("loads", "", "comma-separated injection rates (default: per-topology grid)")
 	svgOut := fs.String("svg", "", "also write the figure as an SVG plot to this file")
 	csvOut := fs.String("csv", "", "also write the raw series as CSV to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	env, err := common.Env()
 	if err != nil {

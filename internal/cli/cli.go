@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"itbsim/internal/experiments"
@@ -81,6 +83,61 @@ func Schemes(names string) ([]routes.Scheme, error) {
 		return nil, fmt.Errorf("empty scheme list")
 	}
 	return out, nil
+}
+
+// Profile are the pprof flags every tool accepts: -cpuprofile and
+// -memprofile write standard runtime/pprof files for `go tool pprof`. See
+// EXPERIMENTS.md for the profiling recipe.
+type Profile struct {
+	CPU *string
+	Mem *string
+}
+
+// AddProfile registers the profiling flags on a FlagSet.
+func AddProfile(fs *flag.FlagSet) *Profile {
+	return &Profile{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. The returned stop
+// function (never nil) finishes the CPU profile and writes the heap
+// profile of -memprofile; defer it right after flag parsing. Error exits
+// through log.Fatal skip the defer and simply leave no profile behind.
+func (p *Profile) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *p.CPU != "" {
+		cpuFile, err = os.Create(*p.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *p.Mem != "" {
+			f, err := os.Create(*p.Mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 // Run are the flags of the tools that execute on the experiment runner.

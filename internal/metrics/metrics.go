@@ -148,6 +148,14 @@ func (c *Collector) Start(cycle int64) {
 // NextSample returns the cycle at which the next window sample is due.
 func (c *Collector) NextSample() int64 { return c.nextSample }
 
+// LastSample returns the cycle of the previous window boundary (the
+// measurement start before any window has closed). Drivers use it at
+// measurement end to decide whether a trailing partial window remains to be
+// flushed: cycles past LastSample have not been sampled yet. The value is
+// exact across rebinning, because CloseWindow reschedules nextSample after
+// any width change.
+func (c *Collector) LastSample() int64 { return c.nextSample - c.windowCycles }
+
 // SampleLink feeds one channel's cumulative busy counter at a window
 // boundary. The collector differences it against the previous boundary
 // itself.

@@ -13,7 +13,13 @@ type Reconfigurer interface {
 	Recompute(set *faults.Set) (*faults.Reconfiguration, error)
 }
 
-// DropReason classifies why a packet was destroyed.
+// DropReason classifies why a packet was destroyed. A packet is counted
+// under exactly one reason, even when a single event batch makes several
+// apply at once (a wormhole stretched across a dying switch whose next-hop
+// link died in the same cycle): event-time kills classify dead-switch
+// custody first, then link traffic, so the precedence is
+// DeadSwitch > InFlight > DeadOutput. NoRoute only arises at dispatch or
+// table-swap time, before the packet has entered the network.
 type DropReason int
 
 const (
@@ -21,7 +27,8 @@ const (
 	// one) at the moment that link failed.
 	DropInFlight DropReason = iota
 	// DropDeadSwitch: the packet was buffered inside, or held by a NIC
-	// of, a switch that failed.
+	// of, a switch that failed. Takes precedence over the other event-time
+	// reasons when one event batch makes several apply.
 	DropDeadSwitch
 	// DropDeadOutput: the packet reached a switch whose requested output
 	// link was out of service (its source route crosses the fault).
@@ -256,17 +263,12 @@ func (fe *faultEngine) applyDueEvents(s *Sim) {
 	fe.down = make([]bool, len(s.links))
 	fe.recomputeDown(s)
 
-	for l := range fe.down {
-		switch {
-		case fe.down[l] && !oldDown[l]:
-			fe.killOnLink(s, l)
-			s.links[l].down = true
-		case !fe.down[l] && oldDown[l]:
-			fe.reviveLink(s, l)
-		}
-	}
-	// Switch deaths also strand packets held inside the switch's input
-	// buffers and its hosts' NICs, beyond anything travelling on a cable.
+	// Kill order fixes the drop-reason precedence (DeadSwitch > InFlight >
+	// DeadOutput): packets in a dying switch's custody — buffered in its
+	// input ports or held by its hosts' NICs — are classified first, so a
+	// packet whose header sits in a dead switch while its route's next hop
+	// is also dead counts once, as DropDeadSwitch, no matter the link-ID
+	// order the cable sweep below visits.
 	for sw, dead := range fe.set.Switches {
 		if !dead {
 			continue
@@ -281,6 +283,15 @@ func (fe *faultEngine) applyDueEvents(s *Sim) {
 		}
 		for _, h := range s.net.HostsAt(sw) {
 			fe.killNICCustody(s, &s.nics[h])
+		}
+	}
+	for l := range fe.down {
+		switch {
+		case fe.down[l] && !oldDown[l]:
+			fe.killOnLink(s, l)
+			s.links[l].down = true
+		case !fe.down[l] && oldDown[l]:
+			fe.reviveLink(s, l)
 		}
 	}
 	s.purgeDeadState()
@@ -359,6 +370,11 @@ func (fe *faultEngine) reviveLink(s *Sim, lid int) {
 	l.stopped = false
 	if l.recvPort >= 0 {
 		l.stopped = s.inPorts[l.recvPort].lastSignalStop
+	}
+	// A repaired host up-link unblocks its NIC's injection: packets may
+	// have queued (and the NIC gone to sleep) while the link was out.
+	if lid >= s.numChannels && lid < s.numChannels+s.numHosts {
+		s.wakeNIC(lid - s.numChannels)
 	}
 }
 
@@ -566,6 +582,7 @@ func (s *Sim) dispatch(m *msgState) {
 	p.wireFlits = m.payload + headerFlits(r)
 	m.pkt = p
 	s.nics[m.src].sendQ = append(s.nics[m.src].sendQ, p)
+	s.wakeNIC(m.src)
 	s.fe.armTimer(s, m)
 }
 

@@ -45,6 +45,7 @@ func (l *link) pushFlit(s *Sim, pkt *packet, tail bool) {
 		l.busy++
 	}
 	s.progress++
+	s.linkSet.add(l.id)
 }
 
 // pushSignal sends a stop/go control flit back to the sender. Signals on a
@@ -54,6 +55,7 @@ func (l *link) pushSignal(s *Sim, stop bool) {
 		return
 	}
 	l.signals = append(l.signals, signalInFlight{stop: stop, arrive: s.now + int64(s.p.LinkFlightCycles)})
+	s.linkSet.add(l.id)
 }
 
 // deliver moves arrived flits into the receiver and applies arrived control

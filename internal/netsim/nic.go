@@ -60,6 +60,9 @@ type nic struct {
 	rng     *rand.Rand
 	nextGen float64
 	stopGen bool
+	// genArmed marks a parked wake-up on Sim.genTimers while the NIC is
+	// out of the active set (see activeset.go).
+	genArmed bool
 
 	// Bubble accounting for Params.SourceBubblePeriod.
 	sinceBubble int
@@ -133,6 +136,9 @@ func (n *nic) startReception(s *Sim, pkt *packet) {
 		}
 		n.pending = append(n.pending, r)
 		n.rxReinj = r
+		// The DMA timer and eventual re-injection are tick work: wake the
+		// NIC (reception alone does not keep it in the active set).
+		s.wakeNIC(n.host)
 	}
 }
 

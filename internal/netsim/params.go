@@ -27,6 +27,16 @@
 // injection pushes one flit. The fixed order makes runs reproducible: the
 // only randomness is the per-NIC generation RNG seeded from Config.Seed.
 //
+// Each stage visits only the components that currently have work: links,
+// switches, and NICs register in per-class active sets when they gain work
+// and deregister when idle, and sleeping NICs park their next generation
+// time on a timer heap (activeset.go). The sets iterate in ascending
+// component ID — the same order as a dense scan — so results are
+// byte-identical to visiting everything every cycle (Config.DenseStep runs
+// that legacy loop for comparison) while nearly idle cycles, the common
+// case at the low-load points of every curve and in fault drain windows,
+// cost almost nothing.
+//
 // Observability is layered on without touching that loop: cumulative
 // hardware-style counters (link busy/stopped cycles, ITB pool bytes,
 // buffer occupancy) are maintained in place and snapshotted by the

@@ -7,10 +7,12 @@ import (
 	"itbsim/internal/topology"
 )
 
-// BenchmarkMediumTorusPoint measures simulator throughput on the paper's
-// 8x8 fabric near the UP/DOWN saturation load. Used for profiling the
-// cycle loop.
-func BenchmarkMediumTorusPoint(b *testing.B) {
+// benchTorusPoint measures simulator throughput on an 8x8 torus at the
+// given injection rate: one full Run per op. dense selects the legacy
+// per-cycle full scan instead of the active-set scheduler, so the Dense
+// benchmark variants are the "before" numbers of BENCH_4.json.
+func benchTorusPoint(b *testing.B, load float64, dense bool) {
+	b.Helper()
 	net, err := topology.NewTorus(8, 8, 2, 16)
 	if err != nil {
 		b.Fatal(err)
@@ -19,20 +21,46 @@ func BenchmarkMediumTorusPoint(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := Config{
 			Net:             net,
 			Table:           tab.Clone(),
 			Dest:            uniformDest(net.NumHosts()),
-			Load:            0.014,
+			Load:            load,
 			MessageBytes:    512,
 			Seed:            int64(i + 1),
 			WarmupMessages:  100,
 			MeasureMessages: 500,
 			MaxCycles:       10_000_000,
+			DenseStep:       dense,
 		}
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkMediumTorusPoint measures simulator throughput on the paper's
+// 8x8 fabric near the UP/DOWN saturation load. Used for profiling the
+// cycle loop.
+func BenchmarkMediumTorusPoint(b *testing.B) { benchTorusPoint(b, 0.014, false) }
+
+// BenchmarkLowLoadTorusPoint is the same fabric far below saturation
+// (~0.14x the UP/DOWN knee): most cycles are nearly idle, the regime the
+// active-set scheduler exists for. Low-load points dominate the wall time
+// of every latency/throughput sweep and of fault-injection drain windows.
+func BenchmarkLowLoadTorusPoint(b *testing.B) { benchTorusPoint(b, 0.002, false) }
+
+// BenchmarkLowLoadTorusPointDense is the same point on the legacy dense
+// scan: the baseline the ≥2x low-load speedup is measured against.
+func BenchmarkLowLoadTorusPointDense(b *testing.B) { benchTorusPoint(b, 0.002, true) }
+
+// BenchmarkSaturatedTorusPoint drives the fabric past the knee: every
+// component is busy every cycle, so active-set bookkeeping is pure
+// overhead here and must stay within noise of the dense scan.
+func BenchmarkSaturatedTorusPoint(b *testing.B) { benchTorusPoint(b, 0.033, false) }
+
+// BenchmarkSaturatedTorusPointDense is the saturation baseline: the
+// active-set loop must stay within 5% of it.
+func BenchmarkSaturatedTorusPointDense(b *testing.B) { benchTorusPoint(b, 0.033, true) }

@@ -73,6 +73,12 @@ type Config struct {
 	// dropped and retried until RetryLimit abandons them.
 	Reconfigurer Reconfigurer
 
+	// DenseStep runs the legacy dense per-cycle scan (every link, switch,
+	// and NIC visited every cycle) instead of the active-set scheduler.
+	// Results are byte-identical either way; the flag exists so
+	// equivalence tests and benchmarks can compare the two loops.
+	DenseStep bool
+
 	Params Params
 }
 
@@ -188,6 +194,15 @@ type Sim struct {
 
 	outPortOfLink []int
 
+	// Active-set scheduler state (see activeset.go). dense selects the
+	// legacy full-scan loop instead; both loops share all component code.
+	linkSet     bitset
+	routingSet  bitset
+	transferSet bitset
+	nicSet      bitset
+	genTimers   genHeap
+	dense       bool
+
 	numChannels int
 	numHosts    int
 
@@ -250,7 +265,13 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 
-	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net, table: cfg.Table}
+	// The simulator works on a private copy of the table's round-robin
+	// selection state: two concurrent runs handed the same *Table must not
+	// interleave RR cursor advances (and perturb each other's route
+	// choices). The route alternatives and any adaptive selector are
+	// shared — alternatives are immutable, and the selector is the
+	// caller's feedback loop.
+	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net, table: cfg.Table.PrivateRR(), dense: cfg.DenseStep}
 	s.numChannels = cfg.Net.NumChannels()
 	s.numHosts = cfg.Net.NumHosts()
 	s.latHist = metrics.NewHistogram()
@@ -336,6 +357,15 @@ func (s *Sim) build() {
 		n.rng = rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(h)*7919 + 1))
 		n.nextGen = n.rng.Float64() * s.genIntervalCycles
 	}
+
+	// Active sets start with every NIC awake (each either generates on its
+	// first due cycle or parks itself on the generation heap after one
+	// no-op tick); links and switches wake on their first work.
+	s.linkSet = newBitset(total)
+	s.routingSet = newBitset(net.Switches)
+	s.transferSet = newBitset(net.Switches)
+	s.nicSet = newBitset(H)
+	s.nicSet.fill(H)
 }
 
 // generate creates one message at the given NIC, routes it, and queues it
@@ -428,8 +458,108 @@ func (s *Sim) deliver(p *packet) {
 	}
 }
 
-// step advances the simulation by one cycle.
+// step advances the simulation by one cycle, dispatching to the active-set
+// loop or (Config.DenseStep) the legacy dense scan. The two are proven
+// byte-identical by TestActiveSetMatchesDense; all per-component code is
+// shared, only the iteration strategy differs.
 func (s *Sim) step() {
+	if s.dense {
+		s.stepDense()
+	} else {
+		s.stepActive()
+	}
+}
+
+// stepActive advances one cycle visiting only active components. Set-bit
+// iteration is ascending by component ID — the same order as the dense
+// scan — which matters wherever shared counters (packet IDs, delivery
+// totals, RNG draws) are touched. Each phase iterates over word snapshots:
+// a component added to the set mid-phase is either the one currently being
+// visited (its post-visit idle check sees the new work) or gains work that
+// is only observable next cycle.
+func (s *Sim) stepActive() {
+	// 0. Fault engine: one comparison per cycle while asleep; plan
+	// events, retry timers, and reconfiguration phases fire on wake-ups.
+	if s.fe != nil && s.now >= s.fe.nextWake {
+		s.fe.wake(s)
+	}
+	// 1. Links deliver arrived flits and control signals. Delivery can
+	// push a stop/go signal back onto the same link (keeping it active)
+	// but never onto another link.
+	for w, word := range s.linkSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			l := &s.links[i]
+			l.deliver(s)
+			if l.idle() {
+				s.linkSet.remove(i)
+			}
+		}
+	}
+	// 2. Switch routing control units: active while setups or ungranted
+	// requests exist. tickRouting itself never creates new requests.
+	for w, word := range s.routingSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			sw := &s.switches[i]
+			sw.tickRouting(s)
+			if sw.setups == 0 && sw.waiting == 0 {
+				s.routingSet.remove(i)
+			}
+		}
+	}
+	// 3. NIC bookkeeping. First wake NICs whose parked generation timer
+	// is due, then tick the active ones; a tick only ever adds work to
+	// the NIC being ticked.
+	for len(s.genTimers) > 0 && s.genTimers[0].at <= s.now {
+		t := s.genTimers.pop()
+		s.nics[t.host].genArmed = false
+		s.nicSet.add(t.host)
+	}
+	for w, word := range s.nicSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			s.nics[i].tick(s)
+		}
+	}
+	// 4. Transfers: established connections and NIC injections push one
+	// flit each onto their links. Connection teardown re-requests routing
+	// for the next buffered packet (routingSet, not this set). The NIC
+	// pass doubles as the sleep point: a NIC with no remaining work parks
+	// its generation timer and leaves the set.
+	for w, word := range s.transferSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			sw := &s.switches[i]
+			sw.tickTransfer(s)
+			if sw.conns == 0 {
+				s.transferSet.remove(i)
+			}
+		}
+	}
+	for w, word := range s.nicSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			n := &s.nics[i]
+			n.tickTransfer(s)
+			if !s.nicNeedsTick(n) {
+				s.nicSet.remove(i)
+				s.armGen(n)
+			}
+		}
+	}
+	s.endCycle()
+}
+
+// stepDense is the legacy loop: every component visited every cycle. Kept
+// (behind Config.DenseStep) as the executable specification the active-set
+// scheduler is tested against.
+func (s *Sim) stepDense() {
 	// 0. Fault engine: one comparison per cycle while asleep; plan
 	// events, retry timers, and reconfiguration phases fire on wake-ups.
 	if s.fe != nil && s.now >= s.fe.nextWake {
@@ -458,6 +588,12 @@ func (s *Sim) step() {
 	for i := range s.nics {
 		s.nics[i].tickTransfer(s)
 	}
+	s.endCycle()
+}
+
+// endCycle is the tail both step variants share: the post-kill purge, the
+// cycle increment, and the windowed metrics sample.
+func (s *Sim) endCycle() {
 	// A packet killed mid-cycle (its route crossed a link that failed) may
 	// still have its body stretched across upstream switches and its source
 	// NIC; sweep that state now so their connections tear down instead of
@@ -475,6 +611,18 @@ func (s *Sim) step() {
 }
 
 // sampleMetrics snapshots the cumulative counters at a window boundary.
+//
+// The link loop is bounded by numChannels, not len(s.links), on purpose:
+// link IDs [0, numChannels) are the directed switch-to-switch channels
+// (topology channel IDs), and the collector, Result.LinkBusy, and the
+// exported LinkMetrics.Channel/From/To all index that same space. Host
+// up/down-links occupy [numChannels, numChannels+2*numHosts) and are
+// deliberately excluded — their utilization is the per-host injection and
+// delivery telemetry. Mixing the two index spaces (sizing by len(s.links),
+// or feeding a host link's counter into a channel slot) would silently
+// misalign the series on any topology, and worst on ones with extra
+// channels per switch (express tori) or irregular wiring (CPLANT);
+// TestLinkSeriesChannelAlignment pins the alignment there.
 func (s *Sim) sampleMetrics() {
 	for c := 0; c < s.numChannels; c++ {
 		s.mx.SampleLink(c, s.links[c].busy)
@@ -534,6 +682,7 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 	}
 	n := &s.nics[src]
 	n.sendQ = append(n.sendQ, p)
+	s.wakeNIC(src)
 	return p.id, nil
 }
 
@@ -632,6 +781,16 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 }
 
 func (s *Sim) finalize(truncated bool) *Result {
+	// Flush the final partial metrics window: a run that stops between
+	// window boundaries (RunUntilDrained draining, the measurement quota
+	// filling mid-window) would otherwise drop every delivery since the
+	// last boundary from the traffic series, so traffic_window totals
+	// could not reconcile with the scalar counters. The trailing window
+	// spans fewer cycles than WindowCycles; utilization fractions for it
+	// are computed against the full width and so can only understate.
+	if s.mx != nil && s.measuring && s.now > s.mx.LastSample() {
+		s.sampleMetrics()
+	}
 	res := &Result{
 		DeliveredMeasured: s.measCount,
 		Cycles:            s.now,

@@ -71,6 +71,7 @@ func injectOne(t *testing.T, s *Sim, src, dst int) (*packet, int64) {
 	p.wireFlits = s.cfg.MessageBytes + headerFlits(r)
 	s.outstanding++
 	s.nics[src].sendQ = append(s.nics[src].sendQ, p)
+	s.wakeNIC(src) // hand-placed work bypasses Enqueue's wake
 	start := s.now
 	for i := 0; i < 1_000_000; i++ {
 		s.step()
@@ -206,6 +207,7 @@ func TestTwoSendersContendAndBothArrive(t *testing.T) {
 		p.wireFlits = 512 + headerFlits(r)
 		s.outstanding++
 		s.nics[src].sendQ = append(s.nics[src].sendQ, p)
+		s.wakeNIC(src)
 	}
 	mk(0, 6, 1)
 	mk(1, 6, 2)
@@ -294,6 +296,7 @@ func TestDeadlockWatchdogFires(t *testing.T) {
 		p.wireFlits = 512 + headerFlits(r)
 		s.outstanding++
 		s.nics[src].sendQ = append(s.nics[src].sendQ, p)
+		s.wakeNIC(src)
 	}
 	_, err = s.Run()
 	if !errors.Is(err, ErrDeadlock) {

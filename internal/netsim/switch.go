@@ -69,6 +69,7 @@ func (ip *inPort) requestRouting(s *Sim) {
 			ip.pendingOut = oi
 			s.outPorts[oi].reqMask |= 1 << uint(ip.localIdx)
 			s.switches[ip.sw].waiting++
+			s.routingSet.add(ip.sw) // sole waiting++ site: wake the control unit
 			return
 		}
 		s.fe.kill(s, hs.pkt, DropDeadOutput)
@@ -152,6 +153,7 @@ func (sw *swtch) tickRouting(s *Sim) {
 			op.state = outConnected
 			sw.setups--
 			sw.conns++
+			s.transferSet.add(sw.id) // sole conns++ site: wake the crossbar
 			s.progress++
 			if s.cfg.Tracer != nil {
 				s.trace(Event{Kind: EvRoute, Packet: pkt.id, Switch: sw.id, Link: op.link})

@@ -345,6 +345,24 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// PrivateRR returns a view of the table with private round-robin selection
+// state: the (immutable) route alternatives and any installed Selector are
+// shared, but the per-source-host RR cursors are fresh. The simulator takes
+// such a view at construction, so two runs handed the same *Table cannot
+// interleave cursor advances and perturb each other's route choices — while
+// adaptive selectors still observe congestion feedback through the caller's
+// table. Contrast Clone, which also clones the Selector.
+func (t *Table) PrivateRR() *Table {
+	c := &Table{Net: t.Net, Scheme: t.Scheme, Alts: t.Alts, sel: t.sel}
+	if t.rr != nil {
+		c.rr = make([][]uint32, len(t.rr))
+		for h := range c.rr {
+			c.rr[h] = make([]uint32, len(t.rr[h]))
+		}
+	}
+	return c
+}
+
 // Stats summarises static properties of a routing table, matching the
 // figures quoted in §4.7.1 of the paper.
 type Stats struct {

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -299,7 +300,12 @@ func Run(spec Spec) (*Report, error) {
 			defer wg.Done()
 			for j := range jobCh {
 				// Workers write disjoint slots, so no lock is needed.
-				rep.Curves[j.Index] = ns.runJob(j, reporter)
+				// The pprof label attributes CPU samples to the job when
+				// the caller profiles (cmd/* -cpuprofile); it costs one
+				// context allocation per curve, nothing per cycle.
+				pprof.Do(context.Background(), pprof.Labels("job", j.Label), func(context.Context) {
+					rep.Curves[j.Index] = ns.runJob(j, reporter)
+				})
 			}
 		}()
 	}

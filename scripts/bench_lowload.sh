@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench_lowload.sh — runs the active-set vs dense-scan benchmarks on the
+# paper's 8x8 torus and records the before/after numbers in BENCH_4.json.
+# "Dense" is the legacy every-component-every-cycle loop (Config.DenseStep),
+# kept in-tree as the baseline; "active" is the active-set scheduler. The
+# acceptance bar is >=2x at low load (<=0.2 of saturation) and within 5% at
+# saturation.
+#
+# Usage: scripts/bench_lowload.sh [count]   (runs per benchmark, default 3)
+set -e
+cd "$(dirname "$0")/.."
+count=${1:-3}
+
+out=$(go test ./internal/netsim/ -run '^$' \
+	-bench 'LowLoadTorusPoint|SaturatedTorusPoint' -benchtime 3x -count "$count")
+echo "$out"
+
+echo "$out" | awk -v benchcount="$count" '
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sum[name] += $3
+	n[name]++
+}
+END {
+	low_a = sum["BenchmarkLowLoadTorusPoint"] / n["BenchmarkLowLoadTorusPoint"]
+	low_d = sum["BenchmarkLowLoadTorusPointDense"] / n["BenchmarkLowLoadTorusPointDense"]
+	sat_a = sum["BenchmarkSaturatedTorusPoint"] / n["BenchmarkSaturatedTorusPoint"]
+	sat_d = sum["BenchmarkSaturatedTorusPointDense"] / n["BenchmarkSaturatedTorusPointDense"]
+	printf "{\n"
+	printf "  \"bench\": \"active-set scheduler vs dense per-cycle scan, 8x8 torus, UP/DOWN, 512B\",\n"
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchtime\": \"3x\",\n"
+	printf "  \"count\": %d,\n", benchcount
+	printf "  \"low_load\": {\n"
+	printf "    \"load\": 0.002,\n"
+	printf "    \"dense_ns_per_op\": %.0f,\n", low_d
+	printf "    \"active_ns_per_op\": %.0f,\n", low_a
+	printf "    \"speedup\": %.2f\n", low_d / low_a
+	printf "  },\n"
+	printf "  \"saturation\": {\n"
+	printf "    \"load\": 0.033,\n"
+	printf "    \"dense_ns_per_op\": %.0f,\n", sat_d
+	printf "    \"active_ns_per_op\": %.0f,\n", sat_a
+	printf "    \"speedup\": %.2f\n", sat_d / sat_a
+	printf "  }\n"
+	printf "}\n"
+}' > BENCH_4.json
+
+cat BENCH_4.json
