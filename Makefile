@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test docs race race-determinism faults bench bench-lowload profile clean
+.PHONY: all build vet test lint docs race race-determinism faults bench bench-lowload profile clean
 
-all: build vet test docs
+all: build vet test lint
 
 build:
 	$(GO) build ./...
@@ -10,12 +10,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Documentation hygiene: every relative markdown link/anchor resolves
-# (cmd/mdlint), the tree is gofmt-clean, and vet passes.
-docs: vet
-	$(GO) run ./cmd/mdlint .
+# Static invariants: cmd/simlint proves the determinism and layering
+# contracts (no map ranges or wall clock in deterministic packages, the
+# package DAG, dropped errors, exact float compares) and checks every
+# relative markdown link/anchor (the former cmd/mdlint). The gofmt check
+# keeps the tree format-clean; vet runs first. See docs/LINT.md.
+lint: vet
+	$(GO) run ./cmd/simlint .
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+# Former name of the lint target, kept as an alias.
+docs: lint
 
 test:
 	$(GO) test ./...

@@ -113,7 +113,7 @@ func (p *Profile) Start() (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close()
 			return nil, err
 		}
 	}
@@ -131,7 +131,7 @@ func (p *Profile) Start() (stop func() error, err error) {
 			}
 			runtime.GC() // up-to-date allocation data
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
+				_ = f.Close()
 				return err
 			}
 			return f.Close()
@@ -204,7 +204,7 @@ func WriteMetricsFile(path string, points []metrics.ExportPoint) error {
 		return err
 	}
 	if err := metrics.WriteFile(f, path, points); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

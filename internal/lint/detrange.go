@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DetRange flags `range` over a map anywhere in the deterministic
+// packages. Go randomizes map iteration order per run, so a map range in
+// result-bearing code is exactly the kind of latent nondeterminism the
+// byte-identical replica contract (DESIGN.md) forbids: results would
+// differ run to run even at -parallel 1. The fix is to iterate a sorted
+// key slice; loops whose *outcome* is provably order-insensitive (a
+// collect-then-sort, a min/max fold) are annotated instead:
+//
+//	//lint:ignore detrange keys are sorted before use
+type DetRange struct {
+	// Scope is the set of import paths the rule applies to.
+	Scope map[string]bool
+}
+
+func (DetRange) Name() string { return "detrange" }
+func (DetRange) Doc() string {
+	return "range over a map in a deterministic package (iteration order is randomized)"
+}
+
+func (r DetRange) Check(pkg *Package) []Finding {
+	if !r.Scope[pkg.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(rs.For),
+				Rule: r.Name(),
+				Message: fmt.Sprintf(
+					"range over map %s has nondeterministic order; iterate sorted keys or annotate an order-insensitive loop",
+					types.TypeString(tv.Type, types.RelativeTo(pkg.Types))),
+			})
+			return true
+		})
+	}
+	return out
+}

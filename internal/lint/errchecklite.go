@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite flags statement-level calls whose error result is silently
+// dropped. Unlike the full errcheck tool it checks only expression
+// statements — `defer f.Close()` and error results consumed by
+// assignment (including the explicit `_ =` shrug) are left alone — which
+// keeps it precise enough to run with zero configuration on every
+// package of the module. Calls on the Allow list (best-effort terminal
+// output, strings.Builder writes that are documented never to fail) are
+// exempt; anything else is either handled or annotated.
+type ErrCheckLite struct {
+	// Allow holds *types.Func full names (as per (*types.Func).FullName,
+	// e.g. "fmt.Fprintf" or "(*strings.Builder).WriteString") whose
+	// dropped errors are acceptable by convention.
+	Allow map[string]bool
+}
+
+// DefaultErrCheckAllow is the conventional allow list: formatted printing
+// is best-effort terminal/stream output in this repository, and the
+// strings.Builder / bytes.Buffer write methods are documented to always
+// return a nil error.
+var DefaultErrCheckAllow = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+}
+
+func (ErrCheckLite) Name() string { return "errcheck-lite" }
+func (ErrCheckLite) Doc() string {
+	return "statement-level call whose error result is dropped"
+}
+
+func (r ErrCheckLite) Check(pkg *Package) []Finding {
+	errType := types.Universe.Lookup("error").Type()
+	returnsError := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				if types.Identical(tup.At(i).Type(), errType) {
+					return true
+				}
+			}
+			return false
+		}
+		return types.Identical(t, errType)
+	}
+
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call]
+			if !ok || tv.IsType() || !returnsError(tv.Type) {
+				return true
+			}
+			name := calleeName(pkg, call)
+			if r.Allow[name] {
+				return true
+			}
+			if name == "" {
+				name = "call"
+			}
+			out = append(out, Finding{
+				Pos:     pkg.Fset.Position(call.Pos()),
+				Rule:    r.Name(),
+				Message: fmt.Sprintf("error result of %s is dropped; handle it or assign to _", name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// calleeName resolves a call's target to its FullName ("" when the callee
+// is not a named function, e.g. a call of a function-typed variable).
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

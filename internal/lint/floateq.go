@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in the
+// simulator's statistics code. Latency means, utilization fractions and
+// percentile estimates are accumulated floating point; exact equality on
+// them is almost always a bug that happens to pass until an accumulation
+// order changes. Two shapes are exempt because they are exact by
+// construction: comparisons where both operands are constants (folded at
+// compile time) and comparisons against literal 0 (a zero float is the
+// untouched-accumulator sentinel throughout this codebase). Anything
+// else needs a tolerance or an annotation explaining why exactness holds.
+type FloatEq struct {
+	// Scope is the set of import paths the rule applies to.
+	Scope map[string]bool
+}
+
+func (FloatEq) Name() string { return "floateq" }
+func (FloatEq) Doc() string {
+	return "exact ==/!= on floating-point operands in statistics code"
+}
+
+func (r FloatEq) Check(pkg *Package) []Finding {
+	if !r.Scope[pkg.Path] {
+		return nil
+	}
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	isZero := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(be.X) && !isFloat(be.Y) {
+				return true
+			}
+			if isConst(be.X) && isConst(be.Y) {
+				return true
+			}
+			if isZero(be.X) || isZero(be.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:     pkg.Fset.Position(be.OpPos),
+				Rule:    r.Name(),
+				Message: fmt.Sprintf("floating-point %s is exact; compare with a tolerance or annotate why exact equality holds", be.Op),
+			})
+			return true
+		})
+	}
+	return out
+}

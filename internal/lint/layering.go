@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Layering enforces the package DAG: every module-internal import must
+// point strictly down the stack (to a lower layer number). Same-layer
+// imports are rejected too — peers are peers precisely because neither
+// depends on the other — and a package missing from the layer table is a
+// finding, so the table has to be extended deliberately whenever a
+// package is added. The concrete table for this repository lives in
+// repo.go and is documented in docs/LINT.md.
+type Layering struct {
+	// Module is the module path; only imports under it are checked.
+	Module string
+	// Layers maps import paths to their layer number.
+	Layers map[string]int
+	// PrefixLayers assigns a layer to every package under a path prefix
+	// (e.g. all of cmd/ and examples/ at the top), consulted when Layers
+	// has no exact entry.
+	PrefixLayers map[string]int
+}
+
+func (Layering) Name() string { return "layering" }
+func (Layering) Doc() string {
+	return "module import that points up (or sideways in) the package DAG"
+}
+
+// layerOf resolves a module package's layer.
+func (r Layering) layerOf(path string) (int, bool) {
+	if l, ok := r.Layers[path]; ok {
+		return l, true
+	}
+	for prefix, l := range r.PrefixLayers {
+		if strings.HasPrefix(path, prefix) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+func (r Layering) Check(pkg *Package) []Finding {
+	var out []Finding
+	from, known := r.layerOf(pkg.Path)
+	if !known {
+		out = append(out, Finding{
+			Pos:     pkg.Fset.Position(pkg.Files[0].Name.Pos()),
+			Rule:    r.Name(),
+			Message: fmt.Sprintf("package %s has no layer assignment; add it to the DAG table in internal/lint/repo.go", pkg.Path),
+		})
+		return out
+	}
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != r.Module && !strings.HasPrefix(path, r.Module+"/") {
+				continue
+			}
+			to, ok := r.layerOf(path)
+			if !ok {
+				out = append(out, Finding{
+					Pos:     pkg.Fset.Position(imp.Pos()),
+					Rule:    r.Name(),
+					Message: fmt.Sprintf("imported package %s has no layer assignment; add it to the DAG table in internal/lint/repo.go", path),
+				})
+				continue
+			}
+			if to >= from {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(imp.Pos()),
+					Rule: r.Name(),
+					Message: fmt.Sprintf("import of %s (layer %d) from %s (layer %d) points up the stack; the DAG is documented in docs/LINT.md",
+						path, to, pkg.Path, from),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// LayerTable renders a Layers map as sorted "layer path" lines, for docs
+// and debugging output.
+func LayerTable(layers map[string]int) string {
+	type entry struct {
+		path  string
+		layer int
+	}
+	entries := make([]entry, 0, len(layers))
+	for p, l := range layers {
+		entries = append(entries, entry{p, l})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].layer != entries[j].layer {
+			return entries[i].layer < entries[j].layer
+		}
+		return entries[i].path < entries[j].path
+	})
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%2d %s\n", e.layer, e.path)
+	}
+	return b.String()
+}

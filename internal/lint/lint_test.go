@@ -1,0 +1,182 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"itbsim/internal/lint"
+)
+
+// fixtureRules configures the five rules for the testdata/src fixture
+// module, mirroring how repo.go configures them for the real tree: one
+// deliberately violating package per rule plus one clean package that is
+// inside every rule's scope.
+func fixtureRules() []lint.Rule {
+	det := map[string]bool{"fixture/det": true, "fixture/clean": true}
+	clock := map[string]bool{"fixture/clock": true, "fixture/clean": true}
+	floats := map[string]bool{"fixture/floats": true, "fixture/clean": true}
+	layers := map[string]int{
+		"fixture/base":   0,
+		"fixture/upward": 0,
+		"fixture/det":    1,
+		"fixture/clock":  1,
+		"fixture/errs":   1,
+		"fixture/floats": 1,
+		"fixture/peer":   1,
+		"fixture/clean":  2,
+		// fixture/stray is deliberately unassigned.
+	}
+	return []lint.Rule{
+		lint.DetRange{Scope: det},
+		lint.NoClock{Scope: clock},
+		lint.Layering{Module: "fixture", Layers: layers},
+		lint.ErrCheckLite{Allow: lint.DefaultErrCheckAllow},
+		lint.FloatEq{Scope: floats},
+	}
+}
+
+func loadFixture(t *testing.T) []*lint.Package {
+	t.Helper()
+	pkgs, err := lint.Load(lint.LoadConfig{Dir: filepath.Join("testdata", "src")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestFixtureFindings pins the exact findings — file, line, column, rule —
+// over the fixture tree: every deliberate violation is reported, every
+// well-formed //lint:ignore suppresses exactly its rule on its line, the
+// malformed directive is itself reported, and the clean package (which is
+// in every rule's scope) contributes nothing.
+func TestFixtureFindings(t *testing.T) {
+	got := lint.Run(loadFixture(t), fixtureRules())
+	var lines []string
+	for _, f := range got {
+		lines = append(lines, filepath.ToSlash(f.String()))
+	}
+	want := []string{
+		"testdata/src/clock/clock.go:11:12 noclock: time.Now reads the wall clock; deterministic packages must be pure in (spec, seed) — wall-clock timing belongs in the CLI/report layer",
+		"testdata/src/clock/clock.go:12:14 noclock: time.Since reads the wall clock; deterministic packages must be pure in (spec, seed) — wall-clock timing belongs in the CLI/report layer",
+		"testdata/src/clock/clock.go:17:14 noclock: global rand.Intn draws from the process-wide source; use an explicitly seeded *rand.Rand",
+		"testdata/src/det/det.go:10:2 detrange: range over map map[string]int has nondeterministic order; iterate sorted keys or annotate an order-insensitive loop",
+		"testdata/src/det/det.go:39:2 ignore: malformed directive: want //lint:ignore <rule> <reason>",
+		"testdata/src/det/det.go:40:2 detrange: range over map map[int]int has nondeterministic order; iterate sorted keys or annotate an order-insensitive loop",
+		"testdata/src/errs/errs.go:12:2 errcheck-lite: error result of os.Remove is dropped; handle it or assign to _",
+		"testdata/src/floats/floats.go:6:11 floateq: floating-point == is exact; compare with a tolerance or annotate why exact equality holds",
+		"testdata/src/peer/peer.go:5:8 layering: import of fixture/det (layer 1) from fixture/peer (layer 1) points up the stack; the DAG is documented in docs/LINT.md",
+		"testdata/src/stray/stray.go:3:9 layering: package fixture/stray has no layer assignment; add it to the DAG table in internal/lint/repo.go",
+		"testdata/src/upward/upward.go:5:8 layering: import of fixture/det (layer 1) from fixture/upward (layer 0) points up the stack; the DAG is documented in docs/LINT.md",
+	}
+	if len(lines) != len(want) {
+		t.Errorf("got %d findings, want %d", len(lines), len(want))
+	}
+	for i := 0; i < len(lines) || i < len(want); i++ {
+		switch {
+		case i >= len(lines):
+			t.Errorf("missing finding: %s", want[i])
+		case i >= len(want):
+			t.Errorf("unexpected finding: %s", lines[i])
+		case lines[i] != want[i]:
+			t.Errorf("finding %d:\n got  %s\n want %s", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestSuppressionIsPerRule checks that a directive only silences the rule
+// it names: renaming the suppressed rule in a scope where two rules fire
+// would leave the other finding intact. The det fixture's suppressed loop
+// is the probe — running DetRange with an empty suppression context (via
+// a scope that includes fixture/det) must yield the raw findings,
+// including the annotated line 20 loop, proving it was Run's directive
+// filtering (not the rule) that dropped it.
+func TestSuppressionIsPerRule(t *testing.T) {
+	pkgs := loadFixture(t)
+	rule := lint.DetRange{Scope: map[string]bool{"fixture/det": true}}
+	var raw []lint.Finding
+	for _, p := range pkgs {
+		raw = append(raw, rule.Check(p)...)
+	}
+	lint.Sort(raw)
+	// Raw rule output sees all three map ranges (lines 10, 20, 40)...
+	if len(raw) != 3 {
+		t.Fatalf("raw DetRange findings = %d, want 3: %v", len(raw), raw)
+	}
+	// ...while Run drops exactly the annotated one (line 20).
+	filtered := lint.Run(pkgs, []lint.Rule{rule})
+	var kept []int
+	for _, f := range filtered {
+		if f.Rule == "detrange" {
+			kept = append(kept, f.Pos.Line)
+		}
+	}
+	if len(kept) != 2 || kept[0] != 10 || kept[1] != 40 {
+		t.Errorf("suppressed findings at lines %v, want [10 40]", kept)
+	}
+}
+
+// TestMarkdownFindings exercises the folded-in markdown checker on a
+// synthetic tree with one broken link, one broken anchor, and one good
+// file.
+func TestMarkdownFindings(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good.md", "# Title\n\nSee [section](#title) and [other](other.md).\n")
+	write("other.md", "# Other\n\nA [missing file](gone.md) and a [bad anchor](good.md#nope).\n")
+
+	findings, n, err := lint.Markdown([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("checked %d files, want 2", n)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Rule != lint.MarkdownRuleName {
+			t.Errorf("finding rule = %q, want %q", f.Rule, lint.MarkdownRuleName)
+		}
+		if filepath.Base(f.Pos.Filename) != "other.md" || f.Pos.Line != 3 {
+			t.Errorf("finding at %s:%d, want other.md:3", f.Pos.Filename, f.Pos.Line)
+		}
+	}
+	if !strings.Contains(findings[0].Message, "nope") {
+		t.Errorf("first finding %q does not name the bad anchor", findings[0].Message)
+	}
+	if !strings.Contains(findings[1].Message, "gone.md") {
+		t.Errorf("second finding %q does not name the missing file", findings[1].Message)
+	}
+}
+
+// TestRepoTreeIsClean is the linter's own acceptance test: the shipped
+// tree — code and markdown — must produce zero findings under the
+// repository rule set. Removing any shipped //lint:ignore or sorted-keys
+// fix makes this test (and make lint) fail.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := filepath.Join("..", "..")
+	pkgs, err := lint.Load(lint.LoadConfig{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.Run(pkgs, lint.RepoRules())
+	md, _, err := lint.Markdown([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings = append(findings, md...)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

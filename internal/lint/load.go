@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadConfig tells Load where the module lives.
+type LoadConfig struct {
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Module overrides the module path; when empty it is read from
+	// Dir/go.mod.
+	Module string
+}
+
+// Load parses and type-checks every non-test package under cfg.Dir and
+// returns them sorted by import path. Directories named "testdata" and
+// dot- or underscore-prefixed directories are skipped, matching the go
+// tool's rules. Imports within the module are resolved against the
+// freshly checked packages; standard-library imports are compiled from
+// GOROOT source via go/importer, so the loader works without any
+// pre-built export data and without tooling beyond the stdlib.
+//
+// File names recorded in the shared FileSet (and therefore in findings)
+// keep whatever form cfg.Dir has: run with Dir "." for repo-relative
+// paths.
+func Load(cfg LoadConfig) ([]*Package, error) {
+	module := cfg.Module
+	if module == "" {
+		m, err := modulePath(filepath.Join(cfg.Dir, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		module = m
+	}
+
+	fset := token.NewFileSet()
+	sources := map[string][]byte{}
+	files := map[string][]*ast.File{} // import path -> parsed files
+	walk := func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == cfg.Dir {
+				return nil
+			}
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(cfg.Dir, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := module
+		if rel != "." {
+			ip = module + "/" + filepath.ToSlash(rel)
+		}
+		sources[path] = src
+		files[ip] = append(files[ip], f)
+		return nil
+	}
+	if err := filepath.WalkDir(cfg.Dir, walk); err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(files))
+	for ip := range files {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+
+	checker := &moduleChecker{
+		module: module,
+		fset:   fset,
+		files:  files,
+		std:    importer.ForCompiler(fset, "source", nil),
+		done:   map[string]*Package{},
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := checker.check(ip)
+		if err != nil {
+			return nil, err
+		}
+		p.Sources = sources
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			if m := strings.TrimSpace(rest); m != "" {
+				return strings.Trim(m, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// moduleChecker type-checks module packages on demand, memoizing results
+// so each package is checked once, and delegating non-module imports to
+// the GOROOT source importer.
+type moduleChecker struct {
+	module   string
+	fset     *token.FileSet
+	files    map[string][]*ast.File
+	std      types.Importer
+	done     map[string]*Package
+	checking []string // active stack, for cycle reporting
+}
+
+func (c *moduleChecker) Import(path string) (*types.Package, error) {
+	if path == c.module || strings.HasPrefix(path, c.module+"/") {
+		p, err := c.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return c.std.Import(path)
+}
+
+func (c *moduleChecker) check(ip string) (*Package, error) {
+	if p, ok := c.done[ip]; ok {
+		return p, nil
+	}
+	for _, active := range c.checking {
+		if active == ip {
+			return nil, fmt.Errorf("lint: import cycle through %s", ip)
+		}
+	}
+	fs, ok := c.files[ip]
+	if !ok {
+		return nil, fmt.Errorf("lint: module package %s not found on disk", ip)
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		return c.fset.Position(fs[i].Pos()).Filename < c.fset.Position(fs[j].Pos()).Filename
+	})
+	c.checking = append(c.checking, ip)
+	defer func() { c.checking = c.checking[:len(c.checking)-1] }()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: c}
+	tp, err := conf.Check(ip, c.fset, fs, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", ip, err)
+	}
+	p := &Package{Path: ip, Fset: c.fset, Files: fs, Types: tp, Info: info}
+	c.done[ip] = p
+	return p, nil
+}

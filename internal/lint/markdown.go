@@ -1,21 +1,4 @@
-// Command mdlint checks the repository's markdown files for broken
-// relative links and heading anchors, stdlib only. It is the docs
-// counterpart of go vet: `make docs` runs it over every tracked .md file
-// so a renamed file or section breaks the build instead of the reader.
-//
-// Checked per link ([text](target) and ![alt](target) forms, outside code
-// fences and inline code spans):
-//
-//   - relative file targets must exist on disk (resolved against the
-//     linking file's directory; absolute URLs and mailto: are skipped);
-//   - fragment targets (#section, FILE.md#section) must match a heading
-//     in the target markdown file, using GitHub's slug rules (lowercase,
-//     punctuation dropped, spaces to hyphens, -N suffix on duplicates).
-//
-// Usage: mdlint [path ...] — paths are files or directories (walked for
-// *.md, skipping dot-directories); default is the current directory.
-// Exits 1 if any problem is found, listing each as file:line: message.
-package main
+package lint
 
 import (
 	"fmt"
@@ -26,18 +9,37 @@ import (
 	"regexp"
 	"strings"
 	"unicode"
+
+	"go/token"
 )
 
-func main() {
-	roots := os.Args[1:]
-	if len(roots) == 0 {
-		roots = []string{"."}
-	}
+// This file is the markdown half of the lint driver: the relative-link
+// and heading-anchor checker that used to be the standalone cmd/mdlint,
+// folded into the framework so one driver (cmd/simlint) covers both code
+// and docs with one exit-code convention. Findings carry the pseudo-rule
+// name "mdlink".
+//
+// Checked per link ([text](target) and ![alt](target) forms, outside code
+// fences and inline code spans):
+//
+//   - relative file targets must exist on disk (resolved against the
+//     linking file's directory; absolute URLs and mailto: are skipped);
+//   - fragment targets (#section, FILE.md#section) must match a heading
+//     in the target markdown file, using GitHub's slug rules (lowercase,
+//     punctuation dropped, spaces to hyphens, -N suffix on duplicates).
+
+// MarkdownRuleName is the rule name markdown findings are reported under.
+const MarkdownRuleName = "mdlink"
+
+// Markdown checks every *.md file under the given roots (files are
+// checked directly; directories are walked, skipping dot-directories and
+// testdata). It returns the findings plus the number of files checked.
+func Markdown(roots []string) ([]Finding, int, error) {
 	var files []string
 	for _, root := range roots {
 		info, err := os.Stat(root)
 		if err != nil {
-			fatal(err)
+			return nil, 0, err
 		}
 		if !info.IsDir() {
 			files = append(files, root)
@@ -48,7 +50,7 @@ func main() {
 				return err
 			}
 			name := d.Name()
-			if d.IsDir() && strings.HasPrefix(name, ".") && path != root {
+			if d.IsDir() && path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
 				return filepath.SkipDir
 			}
 			if !d.IsDir() && strings.HasSuffix(name, ".md") {
@@ -57,28 +59,17 @@ func main() {
 			return nil
 		})
 		if err != nil {
-			fatal(err)
+			return nil, 0, err
 		}
 	}
 
-	problems := 0
+	var out []Finding
 	anchors := map[string]map[string]bool{} // md path -> set of heading slugs
 	for _, f := range files {
-		for _, p := range checkFile(f, anchors) {
-			fmt.Fprintln(os.Stderr, p)
-			problems++
-		}
+		out = append(out, checkMarkdownFile(f, anchors)...)
 	}
-	if problems > 0 {
-		fmt.Fprintf(os.Stderr, "mdlint: %d problem(s) in %d file(s) checked\n", problems, len(files))
-		os.Exit(1)
-	}
-	fmt.Printf("mdlint: %d markdown file(s) ok\n", len(files))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mdlint:", err)
-	os.Exit(1)
+	Sort(out)
+	return out, len(files), nil
 }
 
 // linkRe matches inline links and images: [text](target) with an optional
@@ -88,12 +79,20 @@ var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 // codeSpanRe strips `inline code` so example links inside it are ignored.
 var codeSpanRe = regexp.MustCompile("`[^`]*`")
 
-func checkFile(path string, anchors map[string]map[string]bool) []string {
+func mdFinding(path string, line int, format string, args ...any) Finding {
+	return Finding{
+		Pos:     token.Position{Filename: path, Line: line},
+		Rule:    MarkdownRuleName,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+func checkMarkdownFile(path string, anchors map[string]map[string]bool) []Finding {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return []string{fmt.Sprintf("%s: %v", path, err)}
+		return []Finding{mdFinding(path, 0, "%v", err)}
 	}
-	var problems []string
+	var out []Finding
 	inFence := false
 	for i, line := range strings.Split(string(data), "\n") {
 		trimmed := strings.TrimSpace(line)
@@ -106,11 +105,11 @@ func checkFile(path string, anchors map[string]map[string]bool) []string {
 		}
 		for _, m := range linkRe.FindAllStringSubmatch(codeSpanRe.ReplaceAllString(line, ""), -1) {
 			if p := checkLink(path, m[1], anchors); p != "" {
-				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, i+1, p))
+				out = append(out, mdFinding(path, i+1, "%s", p))
 			}
 		}
 	}
-	return problems
+	return out
 }
 
 func checkLink(from, target string, anchors map[string]map[string]bool) string {

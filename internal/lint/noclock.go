@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// NoClock forbids wall-clock reads and the global math/rand generator in
+// the deterministic packages. Simulation results must be a pure function
+// of (RunSpec, seed): time.Now/Since/Until leak host timing into whatever
+// consumes them, and the package-level math/rand functions draw from a
+// process-global, possibly randomly-seeded source. Explicitly seeded
+// generators (rand.New(rand.NewSource(seed))) remain fine — that is how
+// every traffic pattern is built. Wall-clock *reporting* (runner job
+// timings, progress display) is annotated at the call site:
+//
+//	//lint:ignore noclock wall-clock reporting only, not simulation state
+type NoClock struct {
+	// Scope is the set of import paths the rule applies to.
+	Scope map[string]bool
+}
+
+// clockFuncs are the forbidden time package functions.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandOK are the math/rand package-level functions that construct
+// explicitly seeded state rather than drawing from the global source.
+var seededRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func (NoClock) Name() string { return "noclock" }
+func (NoClock) Doc() string {
+	return "wall clock or global math/rand in a deterministic package"
+}
+
+func (r NoClock) Check(pkg *Package) []Finding {
+	if !r.Scope[pkg.Path] {
+		return nil
+	}
+	var out []Finding
+	// Info.Uses iteration order is random, but Run sorts findings by
+	// position before anything consumes them.
+	for id, obj := range pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		var msg string
+		switch fn.Pkg().Path() {
+		case "time":
+			if clockFuncs[fn.Name()] {
+				msg = fmt.Sprintf("time.%s reads the wall clock; deterministic packages must be pure in (spec, seed) — wall-clock timing belongs in the CLI/report layer", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			sig, okSig := fn.Type().(*types.Signature)
+			if okSig && sig.Recv() == nil && !seededRandOK[fn.Name()] {
+				msg = fmt.Sprintf("global %s.%s draws from the process-wide source; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		if msg != "" {
+			out = append(out, Finding{Pos: pkg.Fset.Position(id.Pos()), Rule: r.Name(), Message: msg})
+		}
+	}
+	return out
+}

@@ -1,0 +1,6 @@
+// Package base is the fixture DAG's foundation layer (0): imported by
+// higher layers, imports nothing.
+package base
+
+// N is an arbitrary exported value for importers to use.
+const N = 4

@@ -1,0 +1,46 @@
+// Package clean is in every rule's scope and trips none of them: sorted
+// key iteration, seeded randomness, handled errors, tolerance compares,
+// and a downward import.
+package clean
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fixture/base"
+)
+
+// SortedSum iterates a map by sorted keys.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//lint:ignore detrange keys are collected then sorted below before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Draw uses an explicitly seeded generator sized by a lower layer.
+func Draw(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(base.N)
+}
+
+// Close compares with a tolerance.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Describe handles its error result.
+func Describe(v float64) (string, error) {
+	if math.IsNaN(v) {
+		return "", fmt.Errorf("clean: NaN")
+	}
+	return fmt.Sprintf("%g", v), nil
+}

@@ -1,0 +1,29 @@
+// Package clock violates (and suppresses) the noclock rule.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice: two findings (Now, Since).
+func Stamp() time.Duration {
+	t := time.Now() // want noclock
+	return time.Since(t)
+}
+
+// Roll draws from the global math/rand source: finding.
+func Roll() int {
+	return rand.Intn(6) // want noclock
+}
+
+// Seeded uses an explicitly seeded generator: never a finding.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Reported reads the wall clock with a justification: suppressed.
+func Reported() time.Time {
+	//lint:ignore noclock wall-clock bookkeeping only, nothing downstream depends on it
+	return time.Now()
+}

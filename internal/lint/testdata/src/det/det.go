@@ -1,0 +1,44 @@
+// Package det violates (and suppresses) the detrange rule.
+package det
+
+// Exported is imported by the layering fixtures.
+const Exported = 1
+
+// Sum ranges over a map without annotation: finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want detrange
+		total += v
+	}
+	return total
+}
+
+// Keys ranges over a map with a justification: suppressed.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:ignore detrange keys are collected then sorted by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Slice ranges over a slice: never a finding.
+func Slice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Bad carries a malformed directive (no reason): "ignore" finding, and
+// the detrange finding underneath survives.
+func Bad(m map[int]int) int {
+	total := 0
+	//lint:ignore detrange
+	for _, v := range m { // want detrange + ignore(malformed) above
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,48 @@
+// Package errs violates (and suppresses) the errcheck-lite rule.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drop discards os.Remove's error: finding.
+func Drop(path string) {
+	os.Remove(path) // want errcheck-lite
+}
+
+// Shrug discards explicitly: never a finding.
+func Shrug(path string) {
+	_ = os.Remove(path)
+}
+
+// Handle handles the error: never a finding.
+func Handle(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Print uses the allow-listed best-effort output calls: never a finding.
+func Print(b *strings.Builder) {
+	fmt.Println("ok")
+	b.WriteString("ok")
+}
+
+// Deferred closes are exempt by design: never a finding.
+func Deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// Justified discards with a reason: suppressed.
+func Justified(path string) {
+	//lint:ignore errcheck-lite best-effort cleanup of a scratch file
+	os.Remove(path)
+}

@@ -1,0 +1,29 @@
+// Package floats violates (and suppresses) the floateq rule.
+package floats
+
+// Same compares floats exactly: finding.
+func Same(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// Changed compares floats exactly with a justification: suppressed.
+func Changed(a, b float64) bool {
+	//lint:ignore floateq both sides are copies of the same stored value, not recomputed
+	return a != b
+}
+
+// Zero compares against literal zero (the untouched-accumulator
+// sentinel): exempt.
+func Zero(a float64) bool {
+	return a == 0
+}
+
+// Ints compares integers: never a finding.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Consts fold at compile time: exempt.
+func Consts() bool {
+	return 0.1+0.2 == 0.3
+}

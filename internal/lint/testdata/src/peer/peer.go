@@ -1,0 +1,8 @@
+// Package peer sits at fixture layer 1 and imports another layer-1
+// package: layering finding (peers may not import each other).
+package peer
+
+import "fixture/det" // want layering
+
+// V re-exports a peer value.
+const V = det.Exported

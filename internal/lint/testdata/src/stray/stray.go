@@ -1,0 +1,6 @@
+// Package stray has no layer assignment: layering finding on the package
+// clause.
+package stray
+
+// V keeps the package non-empty.
+const V = 0

@@ -1,0 +1,8 @@
+// Package upward sits at fixture layer 0 but imports layer 1: layering
+// finding (import points up the stack).
+package upward
+
+import "fixture/det" // want layering
+
+// V re-exports a higher-layer value.
+const V = det.Exported

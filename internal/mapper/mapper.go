@@ -59,6 +59,7 @@ func (f FaultSet) Validate(net *topology.Network) error {
 
 func checkIDs(m map[int]bool, n int, kind string) error {
 	bad := -1
+	//lint:ignore detrange min-fold is order-insensitive; the smallest bad ID wins regardless of visit order
 	for id, failed := range m {
 		if !failed {
 			continue
@@ -215,6 +216,7 @@ func Discover(p Prober) (*Discovered, error) {
 	// reconstruction stable; exact port numbers need not match the real
 	// network for routing purposes, only the wiring graph does.
 	keys := make([][2]linkEnd, 0, len(links))
+	//lint:ignore detrange keys are collected then sorted below before any use
 	for k := range links {
 		keys = append(keys, k)
 	}
@@ -281,12 +283,12 @@ func Diff(old, new *Discovered) Changes {
 	for _, fp := range new.Fingerprints {
 		newFp[fp] = true
 	}
-	for fp := range oldFp {
+	for _, fp := range old.Fingerprints {
 		if !newFp[fp] {
 			c.SwitchesLost = append(c.SwitchesLost, fp)
 		}
 	}
-	for fp := range newFp {
+	for _, fp := range new.Fingerprints {
 		if !oldFp[fp] {
 			c.SwitchesGained = append(c.SwitchesGained, fp)
 		}
@@ -299,12 +301,12 @@ func Diff(old, new *Discovered) Changes {
 	for _, h := range new.HostIDs {
 		newH[h] = true
 	}
-	for h := range oldH {
+	for _, h := range old.HostIDs {
 		if !newH[h] {
 			c.HostsLost = append(c.HostsLost, h)
 		}
 	}
-	for h := range newH {
+	for _, h := range new.HostIDs {
 		if !oldH[h] {
 			c.HostsGained = append(c.HostsGained, h)
 		}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the export golden files")
+
+// goldenPoints is a small hand-built telemetry fixture covering every
+// record family the exporters emit: run scalars, link series, switch and
+// host records, the traffic series, and both histograms.
+func goldenPoints() []ExportPoint {
+	lat := NewHistogram()
+	for _, v := range []float64{400, 425, 650, 1200, 1200, 9800} {
+		lat.Record(v)
+	}
+	net := NewHistogram()
+	for _, v := range []float64{250, 300, 875} {
+		net.Record(v)
+	}
+	m := &Metrics{
+		SchemaVersion:  SchemaVersion,
+		CycleNs:        6.25,
+		WindowCycles:   8192,
+		Windows:        2,
+		MeasuredCycles: 16384,
+		Replicas:       1,
+		Links: []LinkMetrics{
+			{Channel: 0, From: 0, To: 1, BusyFrac: 0.25, StoppedFrac: 0.0625, PeakWindowFrac: 0.5, Window: []float64{0.5, 0.125}},
+			{Channel: 3, From: 1, To: 0, BusyFrac: 0.125, StoppedFrac: 0, PeakWindowFrac: 0.25, Window: []float64{0.25, 0.0625}},
+		},
+		Switches: []SwitchMetrics{
+			{Switch: 0, MeanBufFlits: 1.5, PeakBufFlits: 4},
+			{Switch: 1, MeanBufFlits: 0.5, PeakBufFlits: 2},
+		},
+		Hosts: []HostMetrics{
+			{Host: 0, Ejects: 3, Reinjects: 3, MeanPoolBytes: 64.5, PeakPoolBytes: 1024, BackpressureCycles: 17},
+			{Host: 1},
+		},
+		Traffic: &TrafficMetrics{
+			Delivered:   []int64{120, 118},
+			Dropped:     []int64{0, 2},
+			Retransmits: []int64{0, 1},
+		},
+		Latency:    lat,
+		NetLatency: net,
+	}
+	return []ExportPoint{
+		{Label: "itb torus4x4 uniform", Scheme: "itb", Pattern: "uniform", Load: 0.014, Metrics: m},
+		{Label: "no telemetry", Scheme: "ud-rnd", Pattern: "uniform", Load: 0.014, Metrics: nil},
+	}
+}
+
+// TestExportByteOrderGolden pins the exact bytes — and therefore the
+// record order — of both export formats. The CSV and JSON emitters walk
+// slices in index order, never maps, so export order is specified rather
+// than incidental; this test is the tripwire should anyone reintroduce a
+// map into the export path (simlint's detrange rule is the static half of
+// the same guarantee). Regenerate with: go test ./internal/metrics -run
+// Golden -update
+func TestExportByteOrderGolden(t *testing.T) {
+	points := goldenPoints()
+	for _, form := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"export_golden.csv", func(b *bytes.Buffer) error { return WriteCSV(b, points) }},
+		{"export_golden.json", func(b *bytes.Buffer) error { return WriteJSON(b, points) }},
+	} {
+		var buf bytes.Buffer
+		if err := form.write(&buf); err != nil {
+			t.Fatalf("%s: %v", form.name, err)
+		}
+		path := filepath.Join("testdata", form.name)
+		if *updateGolden {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: export bytes differ from golden (regenerate with -update only if the schema deliberately changed)", form.name)
+			got := buf.Bytes()
+			for i := 0; i < len(got) && i < len(want); i++ {
+				if got[i] != want[i] {
+					lo := i - 40
+					if lo < 0 {
+						lo = 0
+					}
+					hi := i + 40
+					t.Errorf("first difference at byte %d:\n got  ...%q...\n want ...%q...",
+						i, got[lo:min(hi, len(got))], want[lo:min(hi, len(want))])
+					break
+				}
+			}
+		}
+	}
+}

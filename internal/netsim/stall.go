@@ -114,6 +114,7 @@ func (s *Sim) stallDump(k int) *StallDump {
 	}
 
 	pkts := make([]*packet, 0, len(seen))
+	//lint:ignore detrange keys are collected then sorted by (genCycle, id) below before any use
 	for p := range seen {
 		pkts = append(pkts, p)
 	}

@@ -61,6 +61,7 @@ func (p Pattern) String() string {
 // decorrelated PRNG streams from the same root seed.
 func (p Pattern) salt() int64 {
 	h := fnv.New64a()
+	//lint:ignore errcheck-lite hash.Hash.Write is documented to never return an error
 	h.Write([]byte(p.String()))
 	return int64(h.Sum64())
 }

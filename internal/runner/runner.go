@@ -287,7 +287,7 @@ func Run(spec Spec) (*Report, error) {
 	reporter := newLockedReporter(ns.Reporter)
 
 	buildsBefore := ns.Cache.Builds()
-	start := time.Now()
+	start := time.Now() //lint:ignore noclock wall-clock bookkeeping only; no simulation result depends on it
 	workers := ns.Parallel
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -314,7 +314,7 @@ func Run(spec Spec) (*Report, error) {
 	}
 	close(jobCh)
 	wg.Wait()
-	rep.Wall = time.Since(start)
+	rep.Wall = time.Since(start) //lint:ignore noclock wall-clock bookkeeping only
 	rep.TableBuilds = ns.Cache.Builds() - buildsBefore
 
 	for i := range rep.Curves {
@@ -333,7 +333,7 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 	reporter.jobStarted(j)
 	defer func() { reporter.jobDone(&cr) }()
 
-	buildStart := time.Now()
+	buildStart := time.Now() //lint:ignore noclock wall-clock bookkeeping only; no simulation result depends on it
 	table := j.table
 	if table == nil {
 		var err error
@@ -343,7 +343,7 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 			return cr
 		}
 	}
-	cr.TableBuild = time.Since(buildStart)
+	cr.TableBuild = time.Since(buildStart) //lint:ignore noclock wall-clock bookkeeping only
 
 	dest, err := j.Pattern.DestFn(s.Net)
 	if err != nil {
@@ -359,7 +359,8 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 		reconf = faults.NewController(s.Net, s.FaultMapperHost, s.RouteConfig(j.Scheme))
 	}
 
-	simStart := time.Now()
+	simStart := time.Now() //lint:ignore noclock wall-clock bookkeeping only
+	//lint:ignore noclock wall-clock bookkeeping only
 	defer func() { cr.Sim = time.Since(simStart) }()
 	countdown := -1 // points left after saturation; -1 = not yet saturated
 	for i, load := range s.Loads {

@@ -179,6 +179,7 @@ func AnalyzeLinkUtil(net *topology.Network, busy []float64, root, topN int) Link
 	r.FracBelow10 = float64(below10) / float64(len(busy))
 	r.FracAbove30 = float64(above30) / float64(len(busy))
 	sort.Slice(utils, func(i, j int) bool {
+		//lint:ignore floateq exact compare keeps the sort a strict weak order; a tolerance would break transitivity
 		if utils[i].Util != utils[j].Util {
 			return utils[i].Util > utils[j].Util
 		}

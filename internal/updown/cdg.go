@@ -1,6 +1,10 @@
 package updown
 
-import "itbsim/internal/topology"
+import (
+	"sort"
+
+	"itbsim/internal/topology"
+)
 
 // ChannelSeq converts a switch path to the sequence of directed channels it
 // traverses. A zero- or one-switch path yields nil.
@@ -63,11 +67,17 @@ func (g *DependencyGraph) Acyclic() bool {
 		node int
 		next []int
 	}
+	// Neighbours are sorted so the DFS visits them in a fixed order; the
+	// acyclicity verdict does not depend on it, but a deterministic walk
+	// keeps the whole pipeline reproducible under the byte-identical
+	// results contract.
 	neighbours := func(c int) []int {
 		out := make([]int, 0, len(g.adj[c]))
+		//lint:ignore detrange keys are collected then sorted below before any use
 		for d := range g.adj[c] {
 			out = append(out, d)
 		}
+		sort.Ints(out)
 		return out
 	}
 	for start := 0; start < g.n; start++ {
