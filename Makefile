@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test lint docs race race-determinism faults bench bench-lowload profile clean
+.PHONY: all build vet test lint docs race race-determinism faults bench bench-lowload bench-shards profile clean
 
 all: build vet test lint
 
@@ -26,15 +26,16 @@ docs: lint
 test:
 	$(GO) test ./...
 
-# Full suite under the race detector. Slow; the simulator itself is
-# single-threaded per job, so this mainly exercises the runner pool,
-# the table cache, and the reporter serialization. The explicit second
-# line forces the active-set scheduler invariants to re-run uncached:
+# Full suite under the race detector. Slow; beyond the runner pool,
+# the table cache, and the reporter serialization this now also covers
+# the shard workers stepping one simulation concurrently. The explicit
+# second line forces the core concurrency invariants to re-run uncached:
 # the stranded-work property scan, the dense-scan equivalence goldens,
-# and the shared-table round-robin isolation.
+# the shared-table round-robin isolation, and the shard-equivalence
+# sweep (every scheme x topology x faults byte-identical at Shards 1..N).
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 -run 'ActiveSetNeverStrandsWork|ActiveSetMatchesDense|SharedTableConcurrentRuns' ./internal/netsim/
+	$(GO) test -race -count=1 -run 'ActiveSetNeverStrandsWork|ActiveSetMatchesDense|SharedTableConcurrentRuns|ShardEquivalence|ShardEnqueueEquivalence' ./internal/netsim/
 
 # The parallel-correctness core: byte-identical results across worker
 # counts, single-flight table builds, and cancellation — all under -race.
@@ -59,6 +60,14 @@ bench:
 # overhead; must stay within 5%). Records the numbers in BENCH_4.json.
 bench-lowload:
 	sh scripts/bench_lowload.sh
+
+# Sharded core Shards=1 vs Shards=4 on a 32x32 torus (1024 switches).
+# Records the numbers in BENCH_6.json with the host's CPU count — the
+# speedup bar (>=2x) only applies on hosts with >=4 CPUs; single-CPU
+# hosts measure coordination overhead instead. Budget ~5 minutes (the
+# route build at this scale dominates).
+bench-shards:
+	sh scripts/bench_shards.sh
 
 # CPU + heap profile of a two-point sweep (one low-load point, one near
 # saturation) via the -cpuprofile/-memprofile flags every tool accepts.

@@ -31,14 +31,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hotspot: ")
 	fs := flag.NewFlagSet("hotspot", flag.ExitOnError)
-	common := cli.AddCommon(fs)
-	run := cli.AddRun(fs)
+	cf := cli.AddCommonFlags(fs)
 	locations := fs.Int("locations", 10, "number of random hotspot locations")
-	prof := cli.AddProfile(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
-	stopProf, err := prof.Start()
+	stopProf, err := cf.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,28 +46,28 @@ func main() {
 		}
 	}()
 
-	env, err := common.Env()
+	env, err := cf.Env()
 	if err != nil {
 		log.Fatal(err)
 	}
 	loads := experiments.DefaultLoads(env.Topo, env.Scale)
-	opt, err := run.Options()
+	opt, err := cf.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := experiments.HotspotBatteryOpts(env, *common.Frac, *locations, loads,
-		*common.Bytes, *common.Seed, opt)
+	rows, err := experiments.HotspotBatteryOpts(env, *cf.Frac, *locations, loads,
+		*cf.Bytes, *cf.Seed, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *run.JSON {
-		if err := writeJSON(os.Stdout, env, *common.Frac, rows); err != nil {
+	if *cf.JSON {
+		if err := writeJSON(os.Stdout, env, *cf.Frac, rows); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	fmt.Printf("# %s %s, %d-byte messages, seed %d\n", env.Topo, env.Scale, *common.Bytes, *common.Seed)
-	fmt.Print(experiments.FormatHotspotTable(*common.Frac, rows))
+	fmt.Printf("# %s %s, %d-byte messages, seed %d\n", env.Topo, env.Scale, *cf.Bytes, *cf.Seed)
+	fmt.Print(experiments.FormatHotspotTable(*cf.Frac, rows))
 }
 
 type jsonBattery struct {

@@ -29,17 +29,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("itbsim: ")
 	fs := flag.NewFlagSet("itbsim", flag.ExitOnError)
-	common := cli.AddCommon(fs)
-	run := cli.AddRun(fs)
+	cf := cli.AddCommonFlags(fs)
 	scheme := fs.String("scheme", "itb-rr", "routing: updown, itb-sp, itb-rr, or ud-min (comma-separated list allowed)")
 	load := fs.Float64("load", 0.01, "injection rate in flits/ns/switch")
 	util := fs.Bool("util", false, "collect and print link utilization")
 	trace := fs.Int("trace", 0, "print the last N packet life-cycle events (single scheme only)")
-	prof := cli.AddProfile(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
-	stopProf, err := prof.Start()
+	stopProf, err := cf.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,11 +47,11 @@ func main() {
 		}
 	}()
 
-	env, err := common.Env()
+	env, err := cf.Env()
 	if err != nil {
 		log.Fatal(err)
 	}
-	pat, err := common.Pattern()
+	pat, err := cf.Pattern()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := run.Options()
+	opt, err := cf.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,20 +74,20 @@ func main() {
 		if !opt.Faults.Empty() {
 			log.Fatal("-trace and -faults cannot be combined; run the faulted point without -trace")
 		}
-		res, err := experiments.RunOnePoint(env, schemes[0], pat, *load, *common.Bytes, *common.Seed,
-			experiments.PointOptions{CollectLinkUtil: *util, Metrics: opt.Metrics, Tracer: tracer})
+		res, err := experiments.RunOnePoint(env, schemes[0], pat, *load, *cf.Bytes, *cf.Seed,
+			experiments.PointOptions{CollectLinkUtil: *util, Metrics: opt.Metrics, Tracer: tracer, Shards: *cf.Shards})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *run.Metrics != "" {
+		if *cf.Run.Metrics != "" {
 			pt := metrics.ExportPoint{Label: schemes[0].String(), Scheme: schemes[0].String(),
 				Pattern: pat.String(), Load: *load, Metrics: res.Metrics}
-			if err := cli.WriteMetricsFile(*run.Metrics, []metrics.ExportPoint{pt}); err != nil {
+			if err := cli.WriteMetricsFile(*cf.Run.Metrics, []metrics.ExportPoint{pt}); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("# wrote telemetry to %s\n", *run.Metrics)
+			fmt.Printf("# wrote telemetry to %s\n", *cf.Run.Metrics)
 		}
-		printPoint(env, schemes[0].String(), pat, *load, *common.Bytes, res, *util)
+		printPoint(env, schemes[0].String(), pat, *load, *cf.Bytes, res, *util)
 		fmt.Printf("last %d of %d traced events:\n", len(tracer.Events()), tracer.Total())
 		for _, e := range tracer.Events() {
 			fmt.Printf("  %s\n", e)
@@ -98,17 +96,17 @@ func main() {
 	}
 
 	spec := experiments.SpecFor(env, schemes, []experiments.Pattern{pat},
-		[]float64{*load}, *common.Bytes, *common.Seed, opt)
+		[]float64{*load}, *cf.Bytes, *cf.Seed, opt)
 	spec.CollectLinkUtil = *util
 	rep, err := runner.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mfile, err := run.WriteMetrics(rep)
+	mfile, err := cf.WriteMetrics(rep)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *run.JSON {
+	if *cf.JSON {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
@@ -119,7 +117,7 @@ func main() {
 	}
 	for i := range rep.Curves {
 		cr := &rep.Curves[i]
-		printPoint(env, cr.Job.Scheme.String(), pat, *load, *common.Bytes, cr.Curve.Points[0].Result, *util)
+		printPoint(env, cr.Job.Scheme.String(), pat, *load, *cf.Bytes, cr.Curve.Points[0].Result, *util)
 	}
 }
 

@@ -36,18 +36,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("linkutil: ")
 	fs := flag.NewFlagSet("linkutil", flag.ExitOnError)
-	common := cli.AddCommon(fs)
+	cf := cli.AddCommonFlags(fs)
 	load := fs.Float64("load", 0.015, "injection rate in flits/ns/switch")
 	schemes := fs.String("schemes", "updown,itb-rr", "comma-separated routing schemes")
 	topN := fs.Int("top", 10, "how many hottest links to report")
 	pngPrefix := fs.String("png", "", "also write heat maps as <prefix>-<scheme>.png (tori only)")
-	metricsOut := fs.String("metrics", "",
-		"collect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)")
-	prof := cli.AddProfile(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
-	stopProf, err := prof.Start()
+	// linkutil runs its snapshots directly, one scheme at a time; it
+	// honors -metrics but not the runner-execution flags.
+	if err := cf.RejectRunnerFlags("linkutil", true); err != nil {
+		log.Fatal(err)
+	}
+	metricsOut := cf.Run.Metrics
+	stopProf, err := cf.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,11 +60,11 @@ func main() {
 		}
 	}()
 
-	env, err := common.Env()
+	env, err := cf.Env()
 	if err != nil {
 		log.Fatal(err)
 	}
-	pat, err := common.Pattern()
+	pat, err := cf.Pattern()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +79,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := experiments.LinkUtilSnapshotN(env, sch, pat, *load, *common.Bytes, *common.Seed, *topN, mc)
+		res, err := experiments.LinkUtilSnapshotOpts(env, sch, pat, *load, *cf.Bytes, *cf.Seed, *topN,
+			experiments.PointOptions{Metrics: mc, Shards: *cf.Shards})
 		if err != nil {
 			log.Fatal(err)
 		}

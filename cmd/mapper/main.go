@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mapper: ")
 	fs := flag.NewFlagSet("mapper", flag.ExitOnError)
-	common := cli.AddCommon(fs)
+	cf := cli.AddCommonFlags(fs)
 	failLink := fs.Int("fail-link", -1, "inject a link failure before the second mapping pass")
 	failSwitch := fs.Int("fail-switch", -1, "inject a switch failure before the second mapping pass")
 	failHost := fs.Int("fail-host", -1, "inject a host failure before the second mapping pass")
@@ -34,13 +34,30 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
+	// The probe walks are sequential and use -fail-* rather than a fault
+	// plan; the shared runner flags are accepted for CLI uniformity only.
+	if err := cf.RejectRunnerFlags("mapper", false); err != nil {
+		log.Fatal(err)
+	}
+	if *cf.Shards > 1 {
+		log.Fatal("mapper explores the network with sequential probe packets; only -shards 0 or 1 is valid")
+	}
+	stopProf, err := cf.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
-	env, err := common.Env()
+	env, err := cf.Env()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	prober := &mapper.NetworkProber{Net: env.Net, MapperHost: *mapperHost, Salt: uint64(*common.Seed)}
+	prober := &mapper.NetworkProber{Net: env.Net, MapperHost: *mapperHost, Salt: uint64(*cf.Seed)}
 	before, err := mapper.Discover(prober)
 	if err != nil {
 		log.Fatal(err)

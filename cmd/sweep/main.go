@@ -41,16 +41,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	common := cli.AddCommon(fs)
-	run := cli.AddRun(fs)
-	prof := cli.AddProfile(fs)
+	cf := cli.AddCommonFlags(fs)
 	loadsFlag := fs.String("loads", "", "comma-separated injection rates (default: per-topology grid)")
 	svgOut := fs.String("svg", "", "also write the figure as an SVG plot to this file")
 	csvOut := fs.String("csv", "", "also write the raw series as CSV to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
-	stopProf, err := prof.Start()
+	stopProf, err := cf.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,11 +58,11 @@ func main() {
 		}
 	}()
 
-	env, err := common.Env()
+	env, err := cf.Env()
 	if err != nil {
 		log.Fatal(err)
 	}
-	pat, err := common.Pattern()
+	pat, err := cf.Pattern()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,21 +72,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt, err := run.Options()
+	opt, err := cf.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
 	spec := experiments.SpecFor(env, experiments.AllSchemes, []experiments.Pattern{pat},
-		loads, *common.Bytes, *common.Seed, opt)
+		loads, *cf.Bytes, *cf.Seed, opt)
 	rep, err := runner.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mfile, err := run.WriteMetrics(rep)
+	mfile, err := cf.WriteMetrics(rep)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *run.JSON {
+	if *cf.JSON {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
@@ -99,7 +97,7 @@ func main() {
 		cs.Curves = append(cs.Curves, rep.Curves[i].Curve)
 	}
 	fmt.Printf("# %s %s %s, %d-byte messages, seed %d (%d workers, %.1fs)\n",
-		env.Topo, env.Scale, pat, *common.Bytes, *common.Seed, rep.Parallel, rep.Wall.Seconds())
+		env.Topo, env.Scale, pat, *cf.Bytes, *cf.Seed, rep.Parallel, rep.Wall.Seconds())
 	fmt.Print(cs.String())
 	if mfile != "" {
 		fmt.Printf("# wrote telemetry to %s\n", mfile)

@@ -29,14 +29,10 @@ type LinkUtilReport = stats.LinkUtilReport
 //
 // Two forms are accepted. The declarative grid form sets Schemes and
 // Patterns and lets the runner build routing tables through a shared
-// cache (one build per scheme, cloned per job). The single-curve form —
-// the former SweepConfig — sets a prebuilt Table and an explicit Dest.
+// cache (one build per scheme, cloned per job). The single-curve form
+// sets a prebuilt Table and an explicit Dest; run it with Sweep (the
+// package function or the RunSpec.Sweep method).
 type RunSpec = runner.Spec
-
-// SweepConfig is the former name of the single-curve RunSpec form.
-//
-// Deprecated: use RunSpec; the field set is unchanged.
-type SweepConfig = RunSpec
 
 // Pattern declares a traffic pattern for RunSpec grids: Kind "uniform",
 // "bitrev", "hotspot", "local", or "custom" (explicit DestFn).
@@ -77,18 +73,10 @@ func Run(spec RunSpec) (*RunReport, error) { return runner.Run(spec) }
 // Sweep runs a single-curve spec — the historic API — and returns its
 // curve: the loads in order, cloning the routing table per point so the
 // round-robin state starts fresh, stopping one point after accepted
-// traffic first drops below 92% of the injected traffic. For multi-curve
-// parallel sweeps, use Run.
-func Sweep(cfg SweepConfig) (Curve, error) {
-	rep, err := runner.Run(cfg)
-	if err != nil {
-		if rep != nil && len(rep.Curves) > 0 {
-			return rep.Curves[0].Curve, err
-		}
-		return Curve{Label: cfg.Label}, err
-	}
-	return rep.Curves[0].Curve, nil
-}
+// traffic first drops below 92% of the injected traffic. It is
+// RunSpec.Sweep as a package function. For multi-curve parallel sweeps,
+// use Run.
+func Sweep(cfg RunSpec) (Curve, error) { return cfg.Sweep() }
 
 // SimulateContext is Simulate with cooperative cancellation: the simulator
 // checks ctx every few thousand cycles and aborts with its error when it

@@ -1,6 +1,8 @@
 package itbsim_test
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -86,7 +88,7 @@ func TestFacadeSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curve, err := itbsim.Sweep(itbsim.SweepConfig{
+	curve, err := itbsim.Sweep(itbsim.RunSpec{
 		Net: net, Table: tab, Dest: dest,
 		Loads: []float64{0.01, 0.02}, MessageBytes: 128, Seed: 1,
 		WarmupMessages: 50, MeasureMessages: 150, Label: "facade",
@@ -103,8 +105,21 @@ func TestFacadeSweep(t *testing.T) {
 	if !strings.Contains(curve.Table(), "facade") {
 		t.Error("label missing from table output")
 	}
-	if _, err := itbsim.Sweep(itbsim.SweepConfig{Net: net, Table: tab, Dest: dest}); err == nil {
+	if _, err := itbsim.Sweep(itbsim.RunSpec{Net: net, Table: tab, Dest: dest}); err == nil {
 		t.Error("empty load grid accepted")
+	}
+
+	// The single-curve form is also a method on the spec itself.
+	mcurve, err := itbsim.RunSpec{
+		Net: net, Table: tab, Dest: dest,
+		Loads: []float64{0.01}, MessageBytes: 128, Seed: 1,
+		WarmupMessages: 50, MeasureMessages: 150, Label: "method",
+	}.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcurve.Points) != 1 || mcurve.Label != "method" {
+		t.Errorf("RunSpec.Sweep returned %d points, label %q", len(mcurve.Points), mcurve.Label)
 	}
 }
 
@@ -139,6 +154,93 @@ func TestFacadeParamsAndAnalyze(t *testing.T) {
 	rep := itbsim.AnalyzeLinkUtil(net, make([]float64, net.NumChannels()), 0, 5)
 	if rep.Summary.N != net.NumChannels() {
 		t.Errorf("analyze saw %d channels", rep.Summary.N)
+	}
+}
+
+// TestFacadeConfigErrors pins the typed constructor errors: every New*
+// guard reports a *itbsim.ConfigError naming the offending field, and the
+// rendered messages stay stable.
+func TestFacadeConfigErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*itbsim.Network, error)
+		field string
+		msg   string
+	}{
+		{"torus", func() (*itbsim.Network, error) { return itbsim.NewTorus(1, 8, 2) },
+			"rows/cols", "invalid rows/cols 1x8: torus needs at least 2x2 switches"},
+		{"express", func() (*itbsim.Network, error) { return itbsim.NewExpressTorus(8, 1, 2) },
+			"rows/cols", "invalid rows/cols 8x1: express torus needs at least 2x2 switches"},
+		{"mesh", func() (*itbsim.Network, error) { return itbsim.NewMesh(1, 1, 2) },
+			"rows/cols", "invalid rows/cols 1x1: mesh needs at least 2 switches"},
+		{"hypercube", func() (*itbsim.Network, error) { return itbsim.NewHypercube(0, 2) },
+			"dim", "invalid dim 0: hypercube dimension out of range [1,16]"},
+		{"torus3d", func() (*itbsim.Network, error) { return itbsim.NewTorus3D(2, 2, 1, 2) },
+			"x/y/z", "invalid x/y/z 2x2x1: 3-D torus needs at least 2x2x2 switches"},
+		{"fattree-k", func() (*itbsim.Network, error) { return itbsim.NewFatTree(1, 2) },
+			"k", "invalid k 1: fat tree needs arity k >= 2"},
+		{"fattree-n", func() (*itbsim.Network, error) { return itbsim.NewFatTree(2, 1) },
+			"n", "invalid n 1: fat tree needs at least 2 levels"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.build()
+			if err == nil {
+				t.Fatal("invalid configuration accepted")
+			}
+			var ce *itbsim.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *itbsim.ConfigError", err)
+			}
+			if ce.Field != c.field {
+				t.Errorf("Field = %q, want %q", ce.Field, c.field)
+			}
+			if err.Error() != c.msg {
+				t.Errorf("message = %q, want %q", err.Error(), c.msg)
+			}
+		})
+	}
+}
+
+// TestFacadeSimulateSharded runs the facade end to end with explicit shard
+// counts, pinning that SimConfig.Shards is honored and shard-count
+// invariant, and that invalid counts surface a *itbsim.ConfigError.
+func TestFacadeSimulateSharded(t *testing.T) {
+	net, err := itbsim.NewTorus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := itbsim.BuildRoutes(net, itbsim.ITBRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := itbsim.Uniform(net.NumHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := itbsim.SimConfig{
+		Net: net, Table: tab, Dest: dest,
+		Load: 0.02, MessageBytes: 128, Seed: 1,
+		WarmupMessages: 50, MeasureMessages: 200,
+	}
+	cfg.Shards = 1
+	serial, err := itbsim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	sharded, err := itbsim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Error("Shards=4 result differs from Shards=1")
+	}
+	cfg.Shards = -3
+	_, err = itbsim.Simulate(cfg)
+	var ce *itbsim.ConfigError
+	if !errors.As(err, &ce) || ce.Field != "Shards" {
+		t.Errorf("Shards=-3 returned %v, want a *itbsim.ConfigError on field Shards", err)
 	}
 }
 

@@ -162,6 +162,62 @@ func AddRun(fs *flag.FlagSet) *Run {
 	}
 }
 
+// CommonFlags is the full shared flag surface of the simulation tools:
+// topology/scale/traffic selection (Common), runner execution (Run),
+// per-simulation sharding, and profiling (Profile), registered by one
+// builder so every tool presents the identical surface in -h
+// (TestCommonFlagsHelp pins the rendering). Tools that run their points
+// directly rather than on the experiment runner still register the whole
+// set and reject the runner flags they cannot honor, so a flag never
+// silently changes meaning between tools.
+type CommonFlags struct {
+	*Common
+	*Run
+	*Profile
+	// Shards is the -shards value: netsim.Config.Shards for every
+	// simulation the tool starts (0 auto, 1 serial).
+	Shards *int
+}
+
+// AddCommonFlags registers the shared flag surface on a FlagSet.
+func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	cf := &CommonFlags{Common: AddCommon(fs), Run: AddRun(fs)}
+	cf.Shards = fs.Int("shards", 0,
+		"per-simulation shard count (0 = auto, 1 = serial); results are identical at every count")
+	cf.Profile = AddProfile(fs)
+	return cf
+}
+
+// Options assembles the harness run options from the shared flags,
+// including -shards.
+func (cf *CommonFlags) Options() (experiments.RunOptions, error) {
+	opt, err := cf.Run.Options()
+	if err != nil {
+		return opt, err
+	}
+	opt.Shards = *cf.Shards
+	return opt, nil
+}
+
+// RejectRunnerFlags errors when a runner-execution flag was set on a tool
+// that does not execute on the experiment runner. keepMetrics exempts
+// -metrics for tools that honor it directly.
+func (cf *CommonFlags) RejectRunnerFlags(tool string, keepMetrics bool) error {
+	switch {
+	case *cf.Parallel != 0:
+		return fmt.Errorf("%s does not run on the experiment runner; -parallel is not supported", tool)
+	case *cf.JSON:
+		return fmt.Errorf("%s does not run on the experiment runner; -json is not supported", tool)
+	case *cf.Progress:
+		return fmt.Errorf("%s does not run on the experiment runner; -progress is not supported", tool)
+	case *cf.Faults != "":
+		return fmt.Errorf("%s does not support fault injection; -faults is not supported", tool)
+	case !keepMetrics && *cf.Run.Metrics != "":
+		return fmt.Errorf("%s collects no windowed telemetry; -metrics is not supported", tool)
+	}
+	return nil
+}
+
 // Options assembles the harness run options from the flags. Setting
 // -metrics turns the observability collector on for every point; -faults
 // schedules failures on every point and enables online reconfiguration.

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"testing"
@@ -97,6 +98,97 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+// commonHelp is the full -h rendering of the shared flag surface. Every
+// simulation tool registers its common flags through AddCommonFlags, so
+// this one golden string pins the help text users see across cmd/sweep,
+// cmd/itbsim, cmd/hotspot, cmd/linkutil, and cmd/mapper (tool-specific
+// flags aside). flag.PrintDefaults sorts lexically, so the rendering is
+// insensitive to registration order.
+const commonHelp = "  -bytes int\n" +
+	"    \tmessage payload size in bytes (default 512)\n" +
+	"  -cpuprofile string\n" +
+	"    \twrite a CPU profile to this file\n" +
+	"  -faults string\n" +
+	"    \tinject faults mid-run: comma-separated link:ID@CYCLE / switch:ID@CYCLE events, + prefix repairs (see docs/FAULTS.md)\n" +
+	"  -frac float\n" +
+	"    \thotspot traffic: fraction of traffic to the hotspot (default 0.05)\n" +
+	"  -hotspot int\n" +
+	"    \thotspot traffic: hotspot host\n" +
+	"  -json\n" +
+	"    \temit the full report as JSON on stdout\n" +
+	"  -memprofile string\n" +
+	"    \twrite a heap profile to this file on exit\n" +
+	"  -metrics string\n" +
+	"    \tcollect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)\n" +
+	"  -parallel int\n" +
+	"    \tworker goroutines for independent curves (0 = GOMAXPROCS)\n" +
+	"  -progress\n" +
+	"    \tstream per-job progress to stderr\n" +
+	"  -radius int\n" +
+	"    \tlocal traffic: max switches to destination (default 3)\n" +
+	"  -scale string\n" +
+	"    \tscale: small, medium, or paper (512 hosts) (default \"medium\")\n" +
+	"  -seed int\n" +
+	"    \trandom seed (default 1)\n" +
+	"  -shards int\n" +
+	"    \tper-simulation shard count (0 = auto, 1 = serial); results are identical at every count\n" +
+	"  -topo string\n" +
+	"    \ttopology: torus, express, cplant, or irregular (default \"torus\")\n" +
+	"  -traffic string\n" +
+	"    \ttraffic: uniform, bitrev, hotspot, or local (default \"uniform\")\n"
+
+func TestCommonFlagsHelp(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	AddCommonFlags(fs)
+	fs.PrintDefaults()
+	if got := buf.String(); got != commonHelp {
+		t.Errorf("shared -h output drifted:\ngot:\n%s\nwant:\n%s", got, commonHelp)
+	}
+}
+
+func TestCommonFlagsOptionsThreadShards(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	cf := AddCommonFlags(fs)
+	if err := fs.Parse([]string{"-shards", "3", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cf.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Shards != 3 || opt.Parallel != 2 {
+		t.Errorf("Options() = Shards %d Parallel %d, want 3/2", opt.Shards, opt.Parallel)
+	}
+}
+
+func TestRejectRunnerFlags(t *testing.T) {
+	reject := func(t *testing.T, keepMetrics bool, args ...string) error {
+		t.Helper()
+		fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+		cf := AddCommonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return cf.RejectRunnerFlags("tool", keepMetrics)
+	}
+	if err := reject(t, false); err != nil {
+		t.Errorf("no runner flags set, got %v", err)
+	}
+	if err := reject(t, true, "-metrics", "out.json", "-shards", "2"); err != nil {
+		t.Errorf("-metrics rejected despite keepMetrics: %v", err)
+	}
+	for _, args := range [][]string{
+		{"-parallel", "4"}, {"-json"}, {"-progress"},
+		{"-faults", "link:1@100"}, {"-metrics", "out.json"},
+	} {
+		if err := reject(t, false, args...); err == nil {
+			t.Errorf("%v accepted on a direct-run tool", args)
 		}
 	}
 }

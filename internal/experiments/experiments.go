@@ -160,6 +160,10 @@ type RunOptions struct {
 	// recovers by recomputing routes on the degraded topology (see
 	// docs/FAULTS.md).
 	Faults *faults.Plan
+	// Shards splits each simulation into that many internally-parallel
+	// shards (see netsim.Config.Shards); 0 picks automatically, 1 forces
+	// the serial path. Results are identical at every count.
+	Shards int
 }
 
 // SpecFor assembles the runner spec the harnesses share: the environment's
@@ -184,6 +188,7 @@ func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, m
 		Reporter:        opt.Reporter,
 		Metrics:         opt.Metrics,
 		Faults:          opt.Faults,
+		Shards:          opt.Shards,
 	}
 }
 
@@ -193,6 +198,8 @@ type PointOptions struct {
 	CollectLinkUtil bool
 	Metrics         *metrics.Config
 	Tracer          netsim.Tracer
+	// Shards is netsim.Config.Shards for the point: 0 auto, 1 serial.
+	Shards int
 }
 
 // RunOne executes a single simulation point.
@@ -229,6 +236,7 @@ func RunOnePoint(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes
 		CollectLinkUtil: opt.CollectLinkUtil,
 		Metrics:         opt.Metrics,
 		Tracer:          opt.Tracer,
+		Shards:          opt.Shards,
 	})
 }
 

@@ -97,7 +97,14 @@ func LinkUtilSnapshot(e *Env, scheme routes.Scheme, p Pattern, load float64, msg
 // and optional windowed metrics collection (the collected telemetry lands
 // in Result.Metrics).
 func LinkUtilSnapshotN(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, topN int, mc *metrics.Config) (LinkUtilResult, error) {
-	res, err := RunOnePoint(e, scheme, p, load, msgBytes, seed, PointOptions{CollectLinkUtil: true, Metrics: mc})
+	return LinkUtilSnapshotOpts(e, scheme, p, load, msgBytes, seed, topN, PointOptions{Metrics: mc})
+}
+
+// LinkUtilSnapshotOpts is LinkUtilSnapshotN with full point options
+// (CollectLinkUtil is forced on — the snapshot is the utilization).
+func LinkUtilSnapshotOpts(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, topN int, opt PointOptions) (LinkUtilResult, error) {
+	opt.CollectLinkUtil = true
+	res, err := RunOnePoint(e, scheme, p, load, msgBytes, seed, opt)
 	if err != nil {
 		return LinkUtilResult{}, err
 	}

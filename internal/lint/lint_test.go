@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,6 +155,35 @@ func TestMarkdownFindings(t *testing.T) {
 	}
 	if !strings.Contains(findings[1].Message, "gone.md") {
 		t.Errorf("second finding %q does not name the missing file", findings[1].Message)
+	}
+}
+
+// TestLayeringPinsShardedCoreBelowRunner pins the DAG edge the sharded
+// simulator core relies on: internal/netsim (which runs shard worker
+// goroutines inside one simulation) must sit strictly below
+// internal/runner (the per-curve worker pool), so netsim importing
+// runner is a layering finding by construction and the two parallelism
+// mechanisms can never entangle. See docs/LINT.md.
+func TestLayeringPinsShardedCoreBelowRunner(t *testing.T) {
+	layers := map[string]int{}
+	for _, line := range strings.Split(lint.RepoLayerTable(), "\n") {
+		var l int
+		var path string
+		if _, err := fmt.Sscanf(line, "%d %s", &l, &path); err == nil {
+			layers[path] = l
+		}
+	}
+	netsim, ok := layers["itbsim/internal/netsim"]
+	if !ok {
+		t.Fatal("netsim missing from the layer table")
+	}
+	runner, ok := layers["itbsim/internal/runner"]
+	if !ok {
+		t.Fatal("runner missing from the layer table")
+	}
+	if netsim >= runner {
+		t.Errorf("netsim (layer %d) must sit strictly below runner (layer %d): "+
+			"the sharded core may not import the curve-level worker pool", netsim, runner)
 	}
 }
 

@@ -54,7 +54,10 @@ var repoLayers = map[string]int{
 	"itbsim/internal/routes":   3,
 	// Fault state + reconfiguration controller (rebuilds routes).
 	"itbsim/internal/faults": 4,
-	// The simulator core consumes routes, faults and metrics taps.
+	// The simulator core consumes routes, faults and metrics taps. Its
+	// position below runner (7) is load-bearing: per-simulation shard
+	// workers (Config.Shards) must stay independent of the runner's
+	// per-curve pool, so netsim importing runner is a finding.
 	"itbsim/internal/netsim": 5,
 	// Workload generation and post-processing over the core.
 	"itbsim/internal/traffic": 6,

@@ -163,6 +163,13 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.sum += o.sum
 }
 
+// SetSum overrides the tracked sample sum. Merging per-shard histograms
+// adds their float sums in shard order, which is not associative in floating
+// point; a driver that tracks an exact (integer-derived) total can install
+// it here so Mean and the exported moments are identical no matter how the
+// samples were partitioned.
+func (h *Histogram) SetSum(sum float64) { h.sum = sum }
+
 // Clone returns an independent copy.
 func (h *Histogram) Clone() *Histogram {
 	c := *h

@@ -13,6 +13,11 @@ func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 // cycle loop visit only the links, switches, and NICs that have work, while
 // producing byte-identical results to a dense scan of every component.
 //
+// With the sharded core (shard.go) every set lives on the shard owning the
+// component; phase code always adds a component to its owner's set (which
+// is the running shard's own set for every phase-time site), and the serial
+// end-of-cycle merge performs the cross-shard activations.
+//
 // Each component class has a bitset of active IDs. The safety rule is
 // asymmetric: a spurious member (a component in its set with nothing to do)
 // costs one wasted call and is removed on the next visit, but a missing
@@ -120,20 +125,23 @@ func (h *genHeap) pop() genTimer {
 	return top
 }
 
-// armGen parks a sleeping NIC's generation wake-up on the heap. The wake
-// cycle is ceil(nextGen): the first cycle at which the dense-scan condition
-// nextGen <= now would hold. Load 0 (infinite interval) never arms.
-func (s *Sim) armGen(n *nic) {
+// armGen parks a sleeping NIC's generation wake-up on its shard's heap.
+// The wake cycle is ceil(nextGen): the first cycle at which the dense-scan
+// condition nextGen <= now would hold. Load 0 (infinite interval) never
+// arms.
+func (s *Sim) armGen(sh *shard, n *nic) {
 	if n.genArmed || n.stopGen || math.IsInf(s.genIntervalCycles, 1) {
 		return
 	}
-	s.genTimers.push(genTimer{at: int64(math.Ceil(n.nextGen)), host: n.host})
+	sh.genTimers.push(genTimer{at: int64(math.Ceil(n.nextGen)), host: n.host})
 	n.genArmed = true
 }
 
-// wakeNIC puts a NIC into the per-cycle tick set. Idempotent; call at every
-// site that hands a NIC new work from outside its own tick.
-func (s *Sim) wakeNIC(h int) { s.nicSet.add(h) }
+// wakeNIC puts a NIC into its shard's per-cycle tick set. Idempotent; call
+// at every site that hands a NIC new work from outside its own tick. Safe
+// from phase code only for the running shard's own hosts (which every
+// phase-time caller satisfies: NICs receive and dispatch locally).
+func (s *Sim) wakeNIC(h int) { s.shards[s.shardOfHost[h]].nicSet.add(h) }
 
 // nicNeedsTick is the dense-scan activity predicate for one NIC: true when
 // a dense tick/tickTransfer of this NIC at the current cycle would have an

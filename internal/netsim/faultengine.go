@@ -402,7 +402,9 @@ func (fe *faultEngine) killNICCustody(s *Sim, n *nic) {
 // kill marks one packet dead and accounts the drop. State referencing the
 // packet is cleaned up by purgeDeadState (event-time mass kills) or locally
 // by the caller (routing-time kills); flits still in flight for it are
-// discarded on arrival.
+// discarded on arrival. kill runs only on the serial coordinator (event
+// application at cycle start, the end-of-cycle dead-route drain, retry
+// timers) — phase code defers kills via shard.deadRouteReqs.
 func (fe *faultEngine) kill(s *Sim, p *packet, reason DropReason) {
 	if p.dead {
 		return
@@ -551,24 +553,38 @@ func (fe *faultEngine) fireTimer(s *Sim, m *msgState) {
 	if s.cfg.Tracer != nil {
 		s.trace(Event{Kind: EvRetry, Packet: m.seq, Host: m.src})
 	}
-	s.dispatch(m)
+	s.dispatch(nil, m)
 }
 
 // dispatch creates and queues one transmission attempt for a message,
 // looking the route up in the current (possibly recomputed) table. With no
 // surviving route the attempt is dropped on the spot and the retry timer
-// still armed: a future reconfiguration may restore reachability.
-func (s *Sim) dispatch(m *msgState) {
+// still armed: a future reconfiguration may restore reachability. sh is the
+// source host's shard when called from phase code (generation); serial
+// callers (retry timers) pass nil. Phase calls stage the drop accounting
+// and the timer arm — the retry heap is global and (at, seq) keys make the
+// merged insertion order irrelevant.
+func (s *Sim) dispatch(sh *shard, m *msgState) {
 	m.attempts++
 	r := s.table.Lookup(m.src, m.dst)
 	if r == nil {
 		m.pkt = nil
-		s.fe.drops.NoRoute++
-		s.fe.droppedPackets++
-		s.fe.armTimer(s, m)
+		if sh != nil {
+			sh.dDrops.NoRoute++
+			sh.dDropped++
+			sh.armQ = append(sh.armQ, m)
+		} else {
+			s.fe.drops.NoRoute++
+			s.fe.droppedPackets++
+			s.fe.armTimer(s, m)
+		}
 		return
 	}
-	p := &packet{
+	p := &packet{}
+	if sh != nil {
+		p = sh.newPacket()
+	}
+	*p = packet{
 		id:       m.seq,
 		srcHost:  m.src,
 		dstHost:  m.dst,
@@ -583,7 +599,11 @@ func (s *Sim) dispatch(m *msgState) {
 	m.pkt = p
 	s.nics[m.src].sendQ = append(s.nics[m.src].sendQ, p)
 	s.wakeNIC(m.src)
-	s.fe.armTimer(s, m)
+	if sh != nil {
+		sh.armQ = append(sh.armQ, m)
+	} else {
+		s.fe.armTimer(s, m)
+	}
 }
 
 // purgeDeadState sweeps dead packets out of every buffer and queue after an
@@ -638,9 +658,9 @@ func (s *Sim) purgeInPort(ipIdx int) {
 	headWasDead := hs.pkt.dead
 	ip.buf.purgeDead()
 	if !s.links[ip.link].down {
-		ip.consumed(s)
+		ip.consumed(s, nil)
 	}
 	if headWasDead && ip.buf.headSeg() != nil && ip.conn < 0 && ip.pendingOut < 0 {
-		ip.requestRouting(s)
+		ip.requestRouting(s, nil)
 	}
 }

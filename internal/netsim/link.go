@@ -18,8 +18,22 @@ type signalInFlight struct {
 // model. Flits enter at one flit per cycle when the sender is not stopped
 // and arrive LinkFlightCycles later; stop/go control flits travel the other
 // way with the same flight time.
+//
+// Concurrency layout for the sharded core: flits has a single producer (the
+// sender-side component) and a single consumer (the receiver side), signals
+// the reverse. When a producer pushes on a link whose consumer lives in
+// another shard, the push lands in the staging buffer (flNew/sgNew) the
+// producer shard owns exclusively for that cycle; the serial end-of-cycle
+// merge appends it to the live array. Within one shard, pushes append to
+// the live array directly — timing-equivalent because nothing pushed at
+// cycle t can arrive before t+LinkFlightCycles (>= 1) either way.
 type link struct {
 	id int
+
+	// Shard of the sending component and of the receiving component.
+	// Host up/down links never cross shards (hosts follow their switch).
+	sendShard int32
+	recvShard int32
 
 	// Receiving side: exactly one of recvPort (index into Sim.inPorts)
 	// and recvNIC (host ID) is >= 0.
@@ -31,62 +45,116 @@ type link struct {
 
 	flits   []flitInFlight
 	flHead  int
+	flNew   []flitInFlight // staged cross-shard pushes (sender-owned)
 	signals []signalInFlight
 	sgHead  int
+	sgNew   []signalInFlight // staged cross-shard pushes (receiver-owned)
 
 	busy        int64 // flits pushed during the measurement window
 	idleStopped int64 // cycles the sender had a flit ready but was stopped
 }
 
-// pushFlit puts one flit on the cable at the current cycle.
-func (l *link) pushFlit(s *Sim, pkt *packet, tail bool) {
-	l.flits = append(l.flits, flitInFlight{pkt: pkt, tail: tail, arrive: s.now + int64(s.p.LinkFlightCycles)})
+// pushFlit puts one flit on the cable at the current cycle. Called by the
+// sender-side component; sh is its shard (nil from serial code).
+func (l *link) pushFlit(s *Sim, sh *shard, pkt *packet, tail bool) {
+	f := flitInFlight{pkt: pkt, tail: tail, arrive: s.now + int64(s.p.LinkFlightCycles)}
+	if sh != nil && int32(sh.id) != l.recvShard {
+		if len(l.flNew) == 0 {
+			sh.flDirty = append(sh.flDirty, l.id)
+		}
+		l.flNew = append(l.flNew, f)
+	} else {
+		l.flits = append(l.flits, f)
+		s.shards[l.recvShard].linkSet.add(l.id)
+	}
 	if s.measuring {
 		l.busy++
 	}
-	s.progress++
-	s.linkSet.add(l.id)
+	s.bumpProgress(sh)
 }
 
 // pushSignal sends a stop/go control flit back to the sender. Signals on a
 // dead cable vanish; the sender-side state is resynchronized on repair.
-func (l *link) pushSignal(s *Sim, stop bool) {
+// Called by the receiver-side port; sh is its shard (nil from serial code).
+func (l *link) pushSignal(s *Sim, sh *shard, stop bool) {
 	if l.down {
 		return
 	}
-	l.signals = append(l.signals, signalInFlight{stop: stop, arrive: s.now + int64(s.p.LinkFlightCycles)})
-	s.linkSet.add(l.id)
+	g := signalInFlight{stop: stop, arrive: s.now + int64(s.p.LinkFlightCycles)}
+	if sh != nil && int32(sh.id) != l.sendShard {
+		if len(l.sgNew) == 0 {
+			sh.sgDirty = append(sh.sgDirty, l.id)
+		}
+		l.sgNew = append(l.sgNew, g)
+	} else {
+		l.signals = append(l.signals, g)
+		s.shards[l.sendShard].linkSet.add(l.id)
+	}
 }
 
-// deliver moves arrived flits into the receiver and applies arrived control
-// flits to the sender state. Called once per cycle, before switch and NIC
-// processing.
-func (l *link) deliver(s *Sim) {
+// deliverSignals applies arrived control flits to the sender-side state.
+// Runs in the sender shard.
+func (l *link) deliverSignals(s *Sim) {
 	for l.sgHead < len(l.signals) && l.signals[l.sgHead].arrive <= s.now {
 		l.stopped = l.signals[l.sgHead].stop
 		l.sgHead++
 	}
-	if l.sgHead == len(l.signals) {
-		l.signals = l.signals[:0]
-		l.sgHead = 0
+	if l.sgHead == 0 {
+		return
 	}
+	rest := copy(l.signals, l.signals[l.sgHead:])
+	l.signals = l.signals[:rest]
+	l.sgHead = 0
+}
+
+// deliverFlits moves arrived flits into the receiver. Runs in the receiver
+// shard. The drained head is compacted away every cycle so the backing
+// array (a slab slice shared by all links) never grows past the flits of
+// one flight window.
+func (l *link) deliverFlits(s *Sim, sh *shard) {
 	for l.flHead < len(l.flits) && l.flits[l.flHead].arrive <= s.now {
 		f := l.flits[l.flHead]
 		l.flits[l.flHead] = flitInFlight{}
 		l.flHead++
 		if l.recvPort >= 0 {
-			s.inPorts[l.recvPort].receive(s, f.pkt, f.tail)
+			s.inPorts[l.recvPort].receive(s, sh, f.pkt, f.tail)
 		} else {
-			s.nics[l.recvNIC].receive(s, f.pkt, f.tail)
+			s.nics[l.recvNIC].receive(s, sh, f.pkt, f.tail)
 		}
 	}
-	if l.flHead == len(l.flits) {
-		l.flits = l.flits[:0]
-		l.flHead = 0
+	if l.flHead == 0 {
+		return
 	}
+	rest := copy(l.flits, l.flits[l.flHead:])
+	for i := rest; i < len(l.flits); i++ {
+		l.flits[i] = flitInFlight{}
+	}
+	l.flits = l.flits[:rest]
+	l.flHead = 0
+}
+
+// deliver drains both directions; the single-shard and dense loops use it
+// when one shard owns both ends.
+func (l *link) deliver(s *Sim, sh *shard) {
+	l.deliverSignals(s)
+	l.deliverFlits(s, sh)
 }
 
 // idle reports whether the cable carries no flits and no pending signals.
 func (l *link) idle() bool {
 	return l.flHead == len(l.flits) && l.sgHead == len(l.signals)
+}
+
+// idleFor reports whether the given shard's role(s) on this link have
+// drained: the sender role watches signals, the receiver role watches
+// flits. Staged buffers don't count — the end-of-cycle merge re-activates
+// the link when it folds them in.
+func (l *link) idleFor(shID int32) bool {
+	if l.sendShard == shID && l.sgHead != len(l.signals) {
+		return false
+	}
+	if l.recvShard == shID && l.flHead != len(l.flits) {
+		return false
+	}
+	return true
 }

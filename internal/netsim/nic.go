@@ -29,6 +29,8 @@ type injection struct {
 
 // nic models one Myrinet network interface card: message generation,
 // source-route injection, reception, and the in-transit buffer mechanism.
+// A NIC is owned by the shard of its switch; everything here runs in that
+// shard (or serially between cycles).
 type nic struct {
 	host   int
 	upLink int // host -> switch link
@@ -60,8 +62,13 @@ type nic struct {
 	rng     *rand.Rand
 	nextGen float64
 	stopGen bool
-	// genArmed marks a parked wake-up on Sim.genTimers while the NIC is
-	// out of the active set (see activeset.go).
+	// genSeq numbers this host's generated messages; packet IDs are
+	// genSeq*numHosts + host so every host mints IDs independently of the
+	// others (a global counter would make IDs depend on cross-host
+	// interleaving and break shard-count invariance).
+	genSeq int64
+	// genArmed marks a parked wake-up on the shard's genTimers while the
+	// NIC is out of the active set (see activeset.go).
 	genArmed bool
 
 	// Bubble accounting for Params.SourceBubblePeriod.
@@ -69,7 +76,7 @@ type nic struct {
 }
 
 // receive accepts one flit from the down-link.
-func (n *nic) receive(s *Sim, pkt *packet, tail bool) {
+func (n *nic) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
 	if pkt.dead {
 		// Trailing flits of a killed packet drain into the void.
 		return
@@ -82,7 +89,7 @@ func (n *nic) receive(s *Sim, pkt *packet, tail bool) {
 		n.startReception(s, pkt)
 	}
 	n.rxCount++
-	s.progress++
+	s.bumpProgress(sh)
 	if n.rxReinj != nil {
 		r := n.rxReinj
 		r.received++
@@ -105,7 +112,7 @@ func (n *nic) receive(s *Sim, pkt *packet, tail bool) {
 		if n.rxCount != n.rxExpected {
 			panic(fmt.Sprintf("netsim: host %d: delivered %d flits, expected %d", n.host, n.rxCount, n.rxExpected))
 		}
-		s.deliver(pkt)
+		s.deliver(sh, pkt)
 		n.rxPkt = nil
 	}
 }
@@ -144,7 +151,7 @@ func (n *nic) startReception(s *Sim, pkt *packet) {
 
 // tick runs the per-cycle NIC work: DMA timers, message generation, and
 // starting a new injection when the previous one finished.
-func (n *nic) tick(s *Sim) {
+func (n *nic) tick(s *Sim, sh *shard) {
 	// Promote in-transit packets whose re-injection DMA has been
 	// programmed.
 	if len(n.pending) > 0 {
@@ -172,7 +179,7 @@ func (n *nic) tick(s *Sim) {
 				}
 				break
 			}
-			s.generate(n)
+			s.generate(sh, n)
 			n.nextGen += s.genIntervalCycles
 		}
 	}
@@ -226,7 +233,7 @@ func (n *nic) sendQLen() int { return len(n.sendQ) - n.sendQH }
 // tickTransfer pushes one flit of the current injection onto the up-link.
 // Re-injections never outrun reception: flit k can only leave once flit k+1
 // (counting the stripped mark) has arrived.
-func (n *nic) tickTransfer(s *Sim) {
+func (n *nic) tickTransfer(s *Sim, sh *shard) {
 	if !n.active {
 		return
 	}
@@ -253,7 +260,7 @@ func (n *nic) tickTransfer(s *Sim) {
 		n.sinceBubble++
 	}
 	last := n.cur.sent == n.cur.toSend-1
-	l.pushFlit(s, n.cur.pkt, last)
+	l.pushFlit(s, sh, n.cur.pkt, last)
 	n.cur.sent++
 	if last {
 		if r := n.cur.reinj; r != nil {

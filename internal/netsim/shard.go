@@ -1,0 +1,338 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"itbsim/internal/metrics"
+)
+
+// This file holds the sharded stepping core: the simulator partitions the
+// fabric into Config.Shards contiguous switch-ID ranges (each switch's
+// hosts, NICs, and host links follow their switch), and steps each shard's
+// four phases on its own goroutine. The protocol is conservative parallel
+// discrete-event simulation with a lookahead of one cycle, which the link
+// model guarantees: every cross-shard interaction travels over a link, and
+// a flit or stop/go signal pushed at cycle t arrives at t+LinkFlightCycles
+// (>= 1), so nothing produced during a cycle can be consumed in the same
+// cycle. Cross-shard pushes are therefore staged in per-link double buffers
+// (link.flNew / link.sgNew, single writer each) and folded into the live
+// arrays by the serial end-of-cycle merge, in shard order. One barrier per
+// cycle is enough.
+//
+// Determinism argument (see DESIGN.md "Sharded core" for the long form):
+//   - Each link's flit array has exactly one producer (the sender-side
+//     component) and one consumer (the receiver side), so within-link order
+//     is production order at every shard count; the signal array likewise
+//     has the receiver port as its only producer.
+//   - Everything a shard mutates during a phase is owned by that shard
+//     (its switches, ports, NICs, RNGs, routing RR cursors are per source
+//     host) or staged (cross-shard link traffic, global counters, retry
+//     timers, dead-route kills).
+//   - Global counters merge by addition (commutative); retry timers carry
+//     a unique (at, seq) key so heap pop order is insertion-independent;
+//     packet IDs are derived per host (seq*numHosts + host) rather than
+//     from a global counter.
+//   - Latency histograms are recorded per shard and merged in shard order
+//     at finalize; bucket counts, min, and max merge exactly, and the sum
+//     is recomputed from exact integer cycle totals (Histogram.SetSum), so
+//     even float fields are bit-equal at every shard count.
+//   - Fault kills discovered during a phase (a head packet whose source
+//     route crosses a dead link) are deferred: the port stages itself on
+//     shard.deadRouteReqs and the serial end-of-cycle drain re-runs the
+//     request/kill loop in global port order.
+type shard struct {
+	id int
+
+	// Active sets, global component IDs; only this shard's components ever
+	// have their bits set here (cross-shard activations happen in the
+	// serial merge).
+	linkSet     bitset
+	routingSet  bitset
+	transferSet bitset
+	nicSet      bitset
+	genTimers   genHeap
+
+	// Staged cross-shard link traffic: IDs of links whose flNew/sgNew
+	// buffer went non-empty this cycle.
+	flDirty []int
+	sgDirty []int
+
+	// Input ports whose head packet requested a dead output this cycle;
+	// the kill happens in the serial end-of-cycle drain.
+	deadRouteReqs []int
+
+	// Messages whose retry timer must be armed (fault runs): the global
+	// heap cannot take concurrent pushes.
+	armQ []*msgState
+
+	// Counter deltas folded into the Sim totals at end of cycle.
+	dProgress        int64
+	dGenerated       int64
+	dDelivered       int64
+	dOutstanding     int64
+	dWindowInjected  int64
+	dWindowDelivered int64
+	dMeasITB         int64
+	dMeasCount       int64
+	dDropped         int64
+	dDrops           DropStats
+
+	// Measured-latency accumulation: per-shard histograms merged at
+	// finalize, plus exact integer cycle totals backing SetSum.
+	latHist      *metrics.Histogram
+	netLatHist   *metrics.Histogram
+	latCycles    int64
+	netLatCycles int64
+
+	// Packet arena: chunked bump allocation keeps the per-message packet
+	// structs of one shard on adjacent cache lines and off the general
+	// heap. Full chunks are abandoned to the GC (no recycling: a stale
+	// pointer into a reused slot would be a silent corruption).
+	pktChunk []packet
+	pktUsed  int
+
+	// Worker panic capture, re-raised on the coordinating goroutine.
+	panicVal   any
+	panicStack []byte
+}
+
+const pktChunkSize = 256
+
+// newPacket bump-allocates one packet from the shard's arena.
+func (sh *shard) newPacket() *packet {
+	if sh.pktUsed == len(sh.pktChunk) {
+		sh.pktChunk = make([]packet, pktChunkSize)
+		sh.pktUsed = 0
+	}
+	p := &sh.pktChunk[sh.pktUsed]
+	sh.pktUsed++
+	return p
+}
+
+// bumpProgress credits one unit of forward progress to the watchdog
+// counter: staged on the shard during phases, direct on the Sim from serial
+// code (sh == nil).
+func (s *Sim) bumpProgress(sh *shard) {
+	if sh != nil {
+		sh.dProgress++
+	} else {
+		s.progress++
+	}
+}
+
+// shardPhases runs the four per-cycle phases for one shard. Set-bit
+// iteration is ascending by component ID over word snapshots, exactly like
+// the pre-shard active-set loop: a component added mid-phase either is the
+// one being visited (its post-visit idle check sees the new work) or gains
+// work only observable next cycle.
+func (s *Sim) shardPhases(sh *shard) {
+	// 1. Links deliver arrived flits and control signals. A link crossing
+	// a shard boundary appears in both end-shards' sets; each end only
+	// drains its own role (sender applies signals, receiver takes flits).
+	shID := int32(sh.id)
+	for w, word := range sh.linkSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			l := &s.links[i]
+			if l.sendShard == shID {
+				l.deliverSignals(s)
+			}
+			if l.recvShard == shID {
+				l.deliverFlits(s, sh)
+			}
+			if l.idleFor(shID) {
+				sh.linkSet.remove(i)
+			}
+		}
+	}
+	// 2. Switch routing control units.
+	for w, word := range sh.routingSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			sw := &s.switches[i]
+			sw.tickRouting(s, sh)
+			if sw.setups == 0 && sw.waiting == 0 {
+				sh.routingSet.remove(i)
+			}
+		}
+	}
+	// 3. NIC bookkeeping: wake NICs whose parked generation timer is due,
+	// then tick the active ones.
+	for len(sh.genTimers) > 0 && sh.genTimers[0].at <= s.now {
+		t := sh.genTimers.pop()
+		s.nics[t.host].genArmed = false
+		sh.nicSet.add(t.host)
+	}
+	for w, word := range sh.nicSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			s.nics[i].tick(s, sh)
+		}
+	}
+	// 4. Transfers; the NIC pass doubles as the sleep point.
+	for w, word := range sh.transferSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			sw := &s.switches[i]
+			sw.tickTransfer(s, sh)
+			if sw.conns == 0 {
+				sh.transferSet.remove(i)
+			}
+		}
+	}
+	for w, word := range sh.nicSet.words {
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			n := &s.nics[i]
+			n.tickTransfer(s, sh)
+			if !s.nicNeedsTick(n) {
+				sh.nicSet.remove(i)
+				s.armGen(sh, n)
+			}
+		}
+	}
+}
+
+// stepParallel runs one cycle's phases on the worker pool: one goroutine
+// per shard, one barrier at the end. Workers start lazily and park between
+// cycles on their start channel.
+func (s *Sim) stepParallel() {
+	if !s.workersOn {
+		s.startWorkers()
+	}
+	for i := range s.startCh {
+		s.startCh[i] <- struct{}{}
+	}
+	for i := 0; i < s.numShards; i++ {
+		<-s.doneCh
+	}
+	for i := range s.shards {
+		if v := s.shards[i].panicVal; v != nil {
+			panic(fmt.Sprintf("netsim: shard %d: %v\n%s", i, v, s.shards[i].panicStack))
+		}
+	}
+}
+
+func (s *Sim) startWorkers() {
+	k := s.numShards
+	s.startCh = make([]chan struct{}, k)
+	s.doneCh = make(chan int, k)
+	for i := 0; i < k; i++ {
+		s.startCh[i] = make(chan struct{}, 1)
+		go s.workerLoop(i)
+	}
+	s.workersOn = true
+}
+
+func (s *Sim) workerLoop(i int) {
+	for range s.startCh[i] {
+		s.runShardRecover(i)
+		s.doneCh <- i
+	}
+}
+
+func (s *Sim) runShardRecover(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.shards[i].panicVal = r
+			s.shards[i].panicStack = debug.Stack()
+		}
+	}()
+	s.shardPhases(&s.shards[i])
+}
+
+// stopWorkers parks the pool. Called (deferred) by every run loop so a Sim
+// never leaks goroutines on error paths; the pool restarts lazily if the
+// caller steps the Sim again (Enqueue-driven drains).
+func (s *Sim) stopWorkers() {
+	if !s.workersOn {
+		return
+	}
+	for i := range s.startCh {
+		close(s.startCh[i])
+	}
+	s.workersOn = false
+	s.startCh = nil
+}
+
+// mergeShards is the serial tail of every cycle: fold each shard's staged
+// cross-shard traffic, counter deltas, and retry-timer arms into the global
+// state, in shard order. Per-link staged arrays preserve production order,
+// so the merged flit/signal sequences are identical to what a single-shard
+// run would have appended directly.
+func (s *Sim) mergeShards() {
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, id := range sh.flDirty {
+			l := &s.links[id]
+			l.flits = append(l.flits, l.flNew...)
+			for i := range l.flNew {
+				l.flNew[i] = flitInFlight{}
+			}
+			l.flNew = l.flNew[:0]
+			s.shards[l.recvShard].linkSet.add(id)
+		}
+		sh.flDirty = sh.flDirty[:0]
+		for _, id := range sh.sgDirty {
+			l := &s.links[id]
+			l.signals = append(l.signals, l.sgNew...)
+			l.sgNew = l.sgNew[:0]
+			s.shards[l.sendShard].linkSet.add(id)
+		}
+		sh.sgDirty = sh.sgDirty[:0]
+
+		s.progress += sh.dProgress
+		s.generatedTotal += sh.dGenerated
+		s.deliveredTotal += sh.dDelivered
+		s.outstanding += sh.dOutstanding
+		s.windowInjectedFlits += sh.dWindowInjected
+		s.windowDeliveredFlits += sh.dWindowDelivered
+		s.measITBSum += sh.dMeasITB
+		s.measCount += sh.dMeasCount
+		sh.dProgress, sh.dGenerated, sh.dDelivered, sh.dOutstanding = 0, 0, 0, 0
+		sh.dWindowInjected, sh.dWindowDelivered = 0, 0
+		sh.dMeasITB, sh.dMeasCount = 0, 0
+
+		if s.fe != nil {
+			s.fe.droppedPackets += sh.dDropped
+			s.fe.drops.InFlight += sh.dDrops.InFlight
+			s.fe.drops.DeadSwitch += sh.dDrops.DeadSwitch
+			s.fe.drops.DeadOutput += sh.dDrops.DeadOutput
+			s.fe.drops.NoRoute += sh.dDrops.NoRoute
+			sh.dDropped = 0
+			sh.dDrops = DropStats{}
+			for _, m := range sh.armQ {
+				s.fe.armTimer(s, m)
+			}
+			for i := range sh.armQ {
+				sh.armQ[i] = nil
+			}
+			sh.armQ = sh.armQ[:0]
+		}
+	}
+	if s.fe != nil {
+		s.drainDeadRouteReqs()
+	}
+}
+
+// drainDeadRouteReqs performs the kills that phases deferred: for each
+// staged input port, re-run the serial request loop — kill the head packet
+// whose route crosses a dead output, purge it, and register the next live
+// request. Processing is in shard then staging order; the kills commute
+// (distinct ports hold distinct packets) and any cascade is handled by the
+// purgeDeadState sweep that fe.needPurge triggers right after.
+func (s *Sim) drainDeadRouteReqs() {
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, ipIdx := range sh.deadRouteReqs {
+			s.inPorts[ipIdx].requestRouting(s, nil)
+		}
+		sh.deadRouteReqs = sh.deadRouteReqs[:0]
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
@@ -78,6 +79,18 @@ type Config struct {
 	// Results are byte-identical either way; the flag exists so
 	// equivalence tests and benchmarks can compare the two loops.
 	DenseStep bool
+
+	// Shards partitions the fabric into that many contiguous switch-ID
+	// ranges (hosts follow their switch), each stepped by its own
+	// goroutine with a deterministic per-cycle barrier (see shard.go).
+	// 0 picks automatically (one shard per core, capped at one shard per
+	// 64 switches, and always 1 when a serial-only feature is in use);
+	// 1 is the serial path. Results are byte-identical at every shard
+	// count. Shards > 1 requires Tracer and Notify nil, DenseStep false,
+	// a table without a Selector, and a Dest function safe for concurrent
+	// calls with distinct per-host RNGs (all built-in traffic patterns
+	// are).
+	Shards int
 
 	Params Params
 }
@@ -170,8 +183,9 @@ type Result struct {
 var ErrDeadlock = errors.New("netsim: no progress; network deadlocked")
 
 // Sim is the assembled simulator. Build one with New, run with Run; a Sim
-// is single-use and single-threaded (run independent Sims in parallel for
-// sweeps).
+// is single-use and externally single-threaded — one goroutine drives the
+// run loop, and with Shards > 1 the Sim manages its own internal worker
+// pool (run independent Sims in parallel for sweeps).
 type Sim struct {
 	cfg Config
 	p   Params
@@ -194,14 +208,21 @@ type Sim struct {
 
 	outPortOfLink []int
 
-	// Active-set scheduler state (see activeset.go). dense selects the
-	// legacy full-scan loop instead; both loops share all component code.
-	linkSet     bitset
-	routingSet  bitset
-	transferSet bitset
-	nicSet      bitset
-	genTimers   genHeap
-	dense       bool
+	// Sharded stepping state (see shard.go). The active sets and
+	// generation timers live on the shards; numShards == 1 runs the same
+	// phase code inline. dense selects the legacy full-scan loop instead;
+	// all loops share the per-component code.
+	shards        []shard
+	shardOfSwitch []int32
+	shardOfHost   []int32
+	numShards     int
+	dense         bool
+
+	// Worker pool (numShards > 1): one parked goroutine per shard,
+	// started lazily, stopped by the run loops on exit.
+	workersOn bool
+	startCh   []chan struct{}
+	doneCh    chan int
 
 	numChannels int
 	numHosts    int
@@ -209,7 +230,6 @@ type Sim struct {
 	genIntervalCycles float64
 
 	// Run-state counters.
-	nextPktID      int64
 	generatedTotal int64
 	deliveredTotal int64
 	outstanding    int64
@@ -220,8 +240,9 @@ type Sim struct {
 	measITBSum int64
 	measCount  int64
 
-	// Streaming latency histograms over the measured messages (always on;
-	// they replace the old sorted-slice percentile accounting).
+	// Streaming latency histograms over the measured messages, merged
+	// from the per-shard histograms by finalize (always on; they replace
+	// the old sorted-slice percentile accounting).
 	latHist    *metrics.Histogram
 	netLatHist *metrics.Histogram
 
@@ -264,6 +285,10 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
+	numShards, err := resolveShards(cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// The simulator works on a private copy of the table's round-robin
 	// selection state: two concurrent runs handed the same *Table must not
@@ -271,7 +296,8 @@ func New(cfg Config) (*Sim, error) {
 	// choices). The route alternatives and any adaptive selector are
 	// shared — alternatives are immutable, and the selector is the
 	// caller's feedback loop.
-	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net, table: cfg.Table.PrivateRR(), dense: cfg.DenseStep}
+	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net, table: cfg.Table.PrivateRR(),
+		dense: cfg.DenseStep, numShards: numShards}
 	s.numChannels = cfg.Net.NumChannels()
 	s.numHosts = cfg.Net.NumHosts()
 	s.latHist = metrics.NewHistogram()
@@ -296,6 +322,39 @@ func New(cfg Config) (*Sim, error) {
 		s.fe = newFaultEngine(s, cfg.Faults, cfg.Reconfigurer)
 	}
 	return s, nil
+}
+
+// resolveShards validates Config.Shards and picks the shard count.
+// Features that observe mid-cycle event order (tracing, delivery
+// callbacks, selector feedback) or force the dense loop are serial-only:
+// asking for Shards > 1 with one of them is a configuration error, while
+// auto (0) silently falls back to 1.
+func resolveShards(cfg Config) (int, error) {
+	if cfg.Shards < 0 {
+		return 0, &topology.ConfigError{Field: "Shards", Value: cfg.Shards, Reason: "must be >= 0"}
+	}
+	serialOnly := cfg.Tracer != nil || cfg.Notify != nil || cfg.DenseStep || cfg.Table.HasSelector()
+	if cfg.Shards > 1 && serialOnly {
+		return 0, &topology.ConfigError{Field: "Shards", Value: cfg.Shards,
+			Reason: "sharded stepping requires Tracer=nil, Notify=nil, DenseStep=false, and a table without a Selector"}
+	}
+	k := cfg.Shards
+	if k == 0 {
+		k = 1
+		if !serialOnly {
+			k = runtime.GOMAXPROCS(0)
+			if lim := cfg.Net.Switches / 64; k > lim {
+				k = lim
+			}
+			if k < 1 {
+				k = 1
+			}
+		}
+	}
+	if k > cfg.Net.Switches {
+		k = cfg.Net.Switches
+	}
+	return k, nil
 }
 
 // Link ID layout: [0, C) directed switch-to-switch channels (topology
@@ -358,19 +417,80 @@ func (s *Sim) build() {
 		n.nextGen = n.rng.Float64() * s.genIntervalCycles
 	}
 
+	// Partition: shard j owns the contiguous switch range
+	// [j*S/K, (j+1)*S/K); hosts, NICs, and host links follow their
+	// switch, so only switch-to-switch channels can cross shards.
+	K := s.numShards
+	s.shards = make([]shard, K)
+	s.shardOfSwitch = make([]int32, net.Switches)
+	for j := 0; j < K; j++ {
+		lo, hi := j*net.Switches/K, (j+1)*net.Switches/K
+		for sw := lo; sw < hi; sw++ {
+			s.shardOfSwitch[sw] = int32(j)
+		}
+	}
+	s.shardOfHost = make([]int32, H)
+	for h := 0; h < H; h++ {
+		s.shardOfHost[h] = s.shardOfSwitch[net.SwitchOf(h)]
+	}
+	for c := 0; c < C; c++ {
+		from, to := net.ChannelEnds(c)
+		s.links[c].sendShard = s.shardOfSwitch[from]
+		s.links[c].recvShard = s.shardOfSwitch[to]
+	}
+	for h := 0; h < H; h++ {
+		j := s.shardOfHost[h]
+		up, down := s.hostUpLink(h), s.hostDownLink(h)
+		s.links[up].sendShard, s.links[up].recvShard = j, j
+		s.links[down].sendShard, s.links[down].recvShard = j, j
+	}
+
+	// Slab-allocate the link pipelines: one shared backing array, sliced
+	// into fixed-capacity per-link windows so the steady-state hot path
+	// never allocates. deliverFlits/deliverSignals compact the drained
+	// head every cycle, bounding a link's live window to one flight time
+	// (+1 being pushed, +1 slack); a burst beyond the window falls back
+	// to a regular append-grown slice for that link.
+	flCap := s.p.LinkFlightCycles + 2
+	const sgCap = 4
+	flSlab := make([]flitInFlight, total*flCap)
+	sgSlab := make([]signalInFlight, total*sgCap)
+	for i := range s.links {
+		s.links[i].flits = flSlab[i*flCap : i*flCap : (i+1)*flCap]
+		s.links[i].signals = sgSlab[i*sgCap : i*sgCap : (i+1)*sgCap]
+	}
+
 	// Active sets start with every NIC awake (each either generates on its
 	// first due cycle or parks itself on the generation heap after one
 	// no-op tick); links and switches wake on their first work.
-	s.linkSet = newBitset(total)
-	s.routingSet = newBitset(net.Switches)
-	s.transferSet = newBitset(net.Switches)
-	s.nicSet = newBitset(H)
-	s.nicSet.fill(H)
+	for j := range s.shards {
+		sh := &s.shards[j]
+		sh.id = j
+		sh.linkSet = newBitset(total)
+		sh.routingSet = newBitset(net.Switches)
+		sh.transferSet = newBitset(net.Switches)
+		sh.nicSet = newBitset(H)
+		sh.latHist = metrics.NewHistogram()
+		sh.netLatHist = metrics.NewHistogram()
+	}
+	for h := 0; h < H; h++ {
+		s.shards[s.shardOfHost[h]].nicSet.add(h)
+	}
+}
+
+// pktID mints the packet/message ID for host h's next message: IDs are
+// per-host arithmetic progressions (seq*numHosts + h), disjoint across
+// hosts and independent of how generation interleaves across hosts — a
+// prerequisite for shard-count invariance.
+func (s *Sim) pktID(n *nic) int64 {
+	id := n.genSeq*int64(s.numHosts) + int64(n.host)
+	n.genSeq++
+	return id
 }
 
 // generate creates one message at the given NIC, routes it, and queues it
-// for injection.
-func (s *Sim) generate(n *nic) {
+// for injection. Runs in the NIC's shard; all global accounting is staged.
+func (s *Sim) generate(sh *shard, n *nic) {
 	dst := s.cfg.Dest(n.host, n.rng)
 	if dst < 0 || dst >= s.numHosts || dst == n.host {
 		panic(fmt.Sprintf("netsim: Dest returned invalid destination %d for source %d", dst, n.host))
@@ -385,23 +505,23 @@ func (s *Sim) generate(n *nic) {
 			payload:  s.cfg.MessageBytes,
 			genCycle: s.now,
 			measured: s.measuring,
-			seq:      s.nextPktID,
+			seq:      s.pktID(n),
 		}
-		s.nextPktID++
-		s.generatedTotal++
-		s.outstanding++
+		sh.dGenerated++
+		sh.dOutstanding++
 		if s.measuring {
-			s.windowInjectedFlits += int64(m.payload)
+			sh.dWindowInjected += int64(m.payload)
 		}
 		if s.cfg.Tracer != nil {
 			s.trace(Event{Kind: EvGenerate, Packet: m.seq, Host: n.host})
 		}
-		s.dispatch(m)
+		s.dispatch(sh, m)
 		return
 	}
 	r := s.table.Route(n.host, dst)
-	p := &packet{
-		id:       s.nextPktID,
+	p := sh.newPacket()
+	*p = packet{
+		id:       s.pktID(n),
 		srcHost:  n.host,
 		dstHost:  dst,
 		route:    r,
@@ -410,11 +530,10 @@ func (s *Sim) generate(n *nic) {
 		measured: s.measuring,
 	}
 	p.wireFlits = s.cfg.MessageBytes + headerFlits(r)
-	s.nextPktID++
-	s.generatedTotal++
-	s.outstanding++
+	sh.dGenerated++
+	sh.dOutstanding++
 	if s.measuring {
-		s.windowInjectedFlits += int64(p.payload)
+		sh.dWindowInjected += int64(p.payload)
 	}
 	if s.cfg.Tracer != nil {
 		s.trace(Event{Kind: EvGenerate, Packet: p.id, Host: n.host})
@@ -423,10 +542,16 @@ func (s *Sim) generate(n *nic) {
 }
 
 // deliver records the arrival of a complete message at its destination.
-func (s *Sim) deliver(p *packet) {
-	s.deliveredTotal++
-	s.outstanding--
-	s.progress++
+// Runs in the destination NIC's shard; counters are staged and latencies go
+// to the shard's histograms (merged at finalize).
+func (s *Sim) deliver(sh *shard, p *packet) {
+	if sh == nil {
+		// Serial callers don't exist today, but keep the invariant clear.
+		sh = &s.shards[0]
+	}
+	sh.dDelivered++
+	sh.dOutstanding--
+	sh.dProgress++
 	if p.msg != nil {
 		p.msg.done = true // the pending retry timer sees this and expires
 	}
@@ -434,17 +559,20 @@ func (s *Sim) deliver(p *packet) {
 		s.trace(Event{Kind: EvDeliver, Packet: p.id, Host: p.dstHost})
 	}
 	if s.measuring {
-		s.windowDeliveredFlits += int64(p.payload)
+		sh.dWindowDelivered += int64(p.payload)
 	}
 	if !p.measured {
 		return
 	}
-	lat := float64(s.now-p.genCycle) * s.p.CycleNs
-	net := float64(s.now-p.injectCycle) * s.p.CycleNs
-	s.latHist.Record(lat)
-	s.netLatHist.Record(net)
-	s.measITBSum += int64(p.itbVisits)
-	s.measCount++
+	latC := s.now - p.genCycle
+	netC := s.now - p.injectCycle
+	lat := float64(latC) * s.p.CycleNs
+	sh.latHist.Record(lat)
+	sh.netLatHist.Record(float64(netC) * s.p.CycleNs)
+	sh.latCycles += latC
+	sh.netLatCycles += netC
+	sh.dMeasITB += int64(p.itbVisits)
+	sh.dMeasCount++
 	if s.cfg.Notify != nil {
 		s.cfg.Notify(Delivery{
 			PacketID:  p.id,
@@ -458,142 +586,65 @@ func (s *Sim) deliver(p *packet) {
 	}
 }
 
-// step advances the simulation by one cycle, dispatching to the active-set
-// loop or (Config.DenseStep) the legacy dense scan. The two are proven
-// byte-identical by TestActiveSetMatchesDense; all per-component code is
-// shared, only the iteration strategy differs.
+// step advances the simulation by one cycle. The serial preamble (fault
+// engine) and the serial tail (endCycle: shard merge, purge, cycle
+// increment, metrics) bracket the phase work, which runs inline for one
+// shard or fanned out across the worker pool for several. All three loop
+// bodies share the per-component code; TestActiveSetMatchesDense and
+// TestShardEquivalence prove them byte-identical.
 func (s *Sim) step() {
-	if s.dense {
-		s.stepDense()
-	} else {
-		s.stepActive()
-	}
-}
-
-// stepActive advances one cycle visiting only active components. Set-bit
-// iteration is ascending by component ID — the same order as the dense
-// scan — which matters wherever shared counters (packet IDs, delivery
-// totals, RNG draws) are touched. Each phase iterates over word snapshots:
-// a component added to the set mid-phase is either the one currently being
-// visited (its post-visit idle check sees the new work) or gains work that
-// is only observable next cycle.
-func (s *Sim) stepActive() {
 	// 0. Fault engine: one comparison per cycle while asleep; plan
 	// events, retry timers, and reconfiguration phases fire on wake-ups.
 	if s.fe != nil && s.now >= s.fe.nextWake {
 		s.fe.wake(s)
 	}
-	// 1. Links deliver arrived flits and control signals. Delivery can
-	// push a stop/go signal back onto the same link (keeping it active)
-	// but never onto another link.
-	for w, word := range s.linkSet.words {
-		for word != 0 {
-			i := w<<6 + trailingZeros(word)
-			word &= word - 1
-			l := &s.links[i]
-			l.deliver(s)
-			if l.idle() {
-				s.linkSet.remove(i)
-			}
-		}
-	}
-	// 2. Switch routing control units: active while setups or ungranted
-	// requests exist. tickRouting itself never creates new requests.
-	for w, word := range s.routingSet.words {
-		for word != 0 {
-			i := w<<6 + trailingZeros(word)
-			word &= word - 1
-			sw := &s.switches[i]
-			sw.tickRouting(s)
-			if sw.setups == 0 && sw.waiting == 0 {
-				s.routingSet.remove(i)
-			}
-		}
-	}
-	// 3. NIC bookkeeping. First wake NICs whose parked generation timer
-	// is due, then tick the active ones; a tick only ever adds work to
-	// the NIC being ticked.
-	for len(s.genTimers) > 0 && s.genTimers[0].at <= s.now {
-		t := s.genTimers.pop()
-		s.nics[t.host].genArmed = false
-		s.nicSet.add(t.host)
-	}
-	for w, word := range s.nicSet.words {
-		for word != 0 {
-			i := w<<6 + trailingZeros(word)
-			word &= word - 1
-			s.nics[i].tick(s)
-		}
-	}
-	// 4. Transfers: established connections and NIC injections push one
-	// flit each onto their links. Connection teardown re-requests routing
-	// for the next buffered packet (routingSet, not this set). The NIC
-	// pass doubles as the sleep point: a NIC with no remaining work parks
-	// its generation timer and leaves the set.
-	for w, word := range s.transferSet.words {
-		for word != 0 {
-			i := w<<6 + trailingZeros(word)
-			word &= word - 1
-			sw := &s.switches[i]
-			sw.tickTransfer(s)
-			if sw.conns == 0 {
-				s.transferSet.remove(i)
-			}
-		}
-	}
-	for w, word := range s.nicSet.words {
-		for word != 0 {
-			i := w<<6 + trailingZeros(word)
-			word &= word - 1
-			n := &s.nics[i]
-			n.tickTransfer(s)
-			if !s.nicNeedsTick(n) {
-				s.nicSet.remove(i)
-				s.armGen(n)
-			}
-		}
+	switch {
+	case s.dense:
+		s.stepDense()
+	case s.numShards == 1:
+		s.shardPhases(&s.shards[0])
+	default:
+		s.stepParallel()
 	}
 	s.endCycle()
 }
 
 // stepDense is the legacy loop: every component visited every cycle. Kept
 // (behind Config.DenseStep) as the executable specification the active-set
-// scheduler is tested against.
+// scheduler and the sharded loop are tested against. It runs with the single
+// shard's staging buffers so the cross-cutting code paths stay identical.
 func (s *Sim) stepDense() {
-	// 0. Fault engine: one comparison per cycle while asleep; plan
-	// events, retry timers, and reconfiguration phases fire on wake-ups.
-	if s.fe != nil && s.now >= s.fe.nextWake {
-		s.fe.wake(s)
-	}
+	sh := &s.shards[0]
 	// 1. Links deliver arrived flits and control signals.
 	for i := range s.links {
 		l := &s.links[i]
 		if !l.idle() {
-			l.deliver(s)
+			l.deliver(s, sh)
 		}
 	}
 	// 2. Switch routing control units.
 	for i := range s.switches {
-		s.switches[i].tickRouting(s)
+		s.switches[i].tickRouting(s, sh)
 	}
 	// 3. NIC bookkeeping: DMA timers, generation, next injection.
 	for i := range s.nics {
-		s.nics[i].tick(s)
+		s.nics[i].tick(s, sh)
 	}
 	// 4. Transfers: established connections and NIC injections push one
 	// flit each onto their links.
 	for i := range s.switches {
-		s.switches[i].tickTransfer(s)
+		s.switches[i].tickTransfer(s, sh)
 	}
 	for i := range s.nics {
-		s.nics[i].tickTransfer(s)
+		s.nics[i].tickTransfer(s, sh)
 	}
-	s.endCycle()
 }
 
-// endCycle is the tail both step variants share: the post-kill purge, the
-// cycle increment, and the windowed metrics sample.
+// endCycle is the serial tail every step shares: merge the shards' staged
+// work (counters, cross-shard traffic, deferred kills), run the post-kill
+// purge, advance the cycle, and sample windowed metrics.
 func (s *Sim) endCycle() {
+	s.mergeShards()
 	// A packet killed mid-cycle (its route crossed a link that failed) may
 	// still have its body stretched across upstream switches and its source
 	// NIC; sweep that state now so their connections tear down instead of
@@ -664,8 +715,9 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 		return 0, fmt.Errorf("netsim: payload must be >= 1 byte")
 	}
 	r := s.table.Route(src, dst)
+	n := &s.nics[src]
 	p := &packet{
-		id:       s.nextPktID,
+		id:       s.pktID(n),
 		srcHost:  src,
 		dstHost:  dst,
 		route:    r,
@@ -674,13 +726,11 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 		measured: true,
 	}
 	p.wireFlits = payloadBytes + headerFlits(r)
-	s.nextPktID++
 	s.generatedTotal++
 	s.outstanding++
 	if s.cfg.Tracer != nil {
 		s.trace(Event{Kind: EvGenerate, Packet: p.id, Host: src})
 	}
-	n := &s.nics[src]
 	n.sendQ = append(n.sendQ, p)
 	s.wakeNIC(src)
 	return p.id, nil
@@ -690,6 +740,7 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 // been delivered (or MaxCycles / the deadlock watchdog fires). Use with
 // Enqueue-driven traffic.
 func (s *Sim) RunUntilDrained() (*Result, error) {
+	defer s.stopWorkers()
 	if !s.measuring {
 		s.measuring = true
 		s.measureStart = s.now
@@ -734,6 +785,7 @@ const cancelCheckCycles = 8192
 // fires. Cancellation does not perturb results — a run that completes
 // yields byte-identical measurements whether or not a context is attached.
 func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
+	defer s.stopWorkers()
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done() // nil for context.Background(): zero overhead
@@ -781,6 +833,25 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 }
 
 func (s *Sim) finalize(truncated bool) *Result {
+	// Merge the per-shard latency histograms into the exported ones, in
+	// shard order so the merged buckets and min/max are shard-count
+	// invariant, and set the float sums from the exact integer cycle
+	// tallies (per-delivery float accumulation would depend on merge
+	// order in the last ulp). Rebuilt from scratch each call: callers
+	// like internal/gm interleave RunUntilDrained and finalize repeatedly.
+	lat, netLat := metrics.NewHistogram(), metrics.NewHistogram()
+	var latCycles, netLatCycles int64
+	for j := range s.shards {
+		sh := &s.shards[j]
+		lat.Merge(sh.latHist)
+		netLat.Merge(sh.netLatHist)
+		latCycles += sh.latCycles
+		netLatCycles += sh.netLatCycles
+	}
+	lat.SetSum(float64(latCycles) * s.p.CycleNs)
+	netLat.SetSum(float64(netLatCycles) * s.p.CycleNs)
+	s.latHist, s.netLatHist = lat, netLat
+
 	// Flush the final partial metrics window: a run that stops between
 	// window boundaries (RunUntilDrained draining, the measurement quota
 	// filling mid-window) would otherwise drop every delivery since the

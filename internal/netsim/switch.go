@@ -31,7 +31,7 @@ type inPort struct {
 // receive accepts one flit from the link into the slack buffer and updates
 // stop/go flow control. If this flit starts a new head packet, the packet's
 // output request is registered.
-func (ip *inPort) receive(s *Sim, pkt *packet, tail bool) {
+func (ip *inPort) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
 	if pkt.dead {
 		// Trailing flits of a killed packet drain into the void; the
 		// buffered part was removed when the packet was killed.
@@ -43,21 +43,24 @@ func (ip *inPort) receive(s *Sim, pkt *packet, tail bool) {
 		panic(fmt.Sprintf("netsim: slack buffer overflow on link %d (occ %d)", ip.link, ip.buf.occ))
 	}
 	if wasHeadless {
-		ip.requestRouting(s)
+		ip.requestRouting(s, sh)
 	}
 	if !ip.lastSignalStop && ip.buf.occ > s.p.StopThreshold {
 		ip.lastSignalStop = true
-		s.links[ip.link].pushSignal(s, true)
+		s.links[ip.link].pushSignal(s, sh, true)
 	}
 }
 
 // requestRouting registers the head packet's output request with the
 // requested output port. The head run always carries at least the route
 // flit when this is called. A head packet whose source route crosses a
-// link that has since failed is discarded on the spot (there is no way to
-// re-route a wormhole packet mid-network); the next buffered packet then
-// gets its chance, until one requests a live output or the buffer drains.
-func (ip *inPort) requestRouting(s *Sim) {
+// link that has since failed is discarded (there is no way to re-route a
+// wormhole packet mid-network); the next buffered packet then gets its
+// chance, until one requests a live output or the buffer drains. During a
+// phase (sh != nil) the kill is deferred — the port stages itself and the
+// serial end-of-cycle drain re-runs this loop with sh == nil, because kills
+// touch global fault accounting.
+func (ip *inPort) requestRouting(s *Sim, sh *shard) {
 	for {
 		hs := ip.buf.headSeg()
 		if hs == nil {
@@ -69,22 +72,27 @@ func (ip *inPort) requestRouting(s *Sim) {
 			ip.pendingOut = oi
 			s.outPorts[oi].reqMask |= 1 << uint(ip.localIdx)
 			s.switches[ip.sw].waiting++
-			s.routingSet.add(ip.sw) // sole waiting++ site: wake the control unit
+			// Sole waiting++ site: wake the control unit.
+			s.shards[s.shardOfSwitch[ip.sw]].routingSet.add(ip.sw)
+			return
+		}
+		if sh != nil {
+			sh.deadRouteReqs = append(sh.deadRouteReqs, s.links[ip.link].recvPort)
 			return
 		}
 		s.fe.kill(s, hs.pkt, DropDeadOutput)
 		ip.buf.purgeDead()
 		if !s.links[ip.link].down {
-			ip.consumed(s)
+			ip.consumed(s, nil)
 		}
 	}
 }
 
 // consumed updates flow control after flits leave the buffer.
-func (ip *inPort) consumed(s *Sim) {
+func (ip *inPort) consumed(s *Sim, sh *shard) {
 	if ip.lastSignalStop && ip.buf.occ < s.p.GoThreshold {
 		ip.lastSignalStop = false
-		s.links[ip.link].pushSignal(s, false)
+		s.links[ip.link].pushSignal(s, sh, false)
 	}
 }
 
@@ -125,7 +133,7 @@ type swtch struct {
 
 // tickRouting advances the routing control units of one switch: finishes
 // header setups and grants free output ports to requesting inputs.
-func (sw *swtch) tickRouting(s *Sim) {
+func (sw *swtch) tickRouting(s *Sim, sh *shard) {
 	if sw.setups > 0 {
 		for _, oi := range sw.outs {
 			op := &s.outPorts[oi]
@@ -147,14 +155,15 @@ func (sw *swtch) tickRouting(s *Sim) {
 			ip.buf.take(1)
 			pkt.wireFlits--
 			pkt.advanceCursor()
-			ip.consumed(s)
+			ip.consumed(s, sh)
 			ip.conn = oi
 			ip.pendingOut = -1
 			op.state = outConnected
 			sw.setups--
 			sw.conns++
-			s.transferSet.add(sw.id) // sole conns++ site: wake the crossbar
-			s.progress++
+			// Sole conns++ site: wake the crossbar.
+			s.shards[s.shardOfSwitch[sw.id]].transferSet.add(sw.id)
+			s.bumpProgress(sh)
 			if s.cfg.Tracer != nil {
 				s.trace(Event{Kind: EvRoute, Packet: pkt.id, Switch: sw.id, Link: op.link})
 			}
@@ -190,7 +199,7 @@ func (sw *swtch) tickRouting(s *Sim) {
 // the connection down when the tail flit leaves. When a connection closes,
 // the next packet in the input buffer (if any) registers its routing
 // request.
-func (sw *swtch) tickTransfer(s *Sim) {
+func (sw *swtch) tickTransfer(s *Sim, sh *shard) {
 	if sw.conns == 0 {
 		return
 	}
@@ -216,15 +225,15 @@ func (sw *swtch) tickTransfer(s *Sim) {
 		last := hs.tail && hs.flits == 1
 		pkt := hs.pkt
 		ip.buf.take(1)
-		l.pushFlit(s, pkt, last)
-		ip.consumed(s)
+		l.pushFlit(s, sh, pkt, last)
+		ip.consumed(s, sh)
 		if last {
 			ip.buf.popIfDone()
 			ip.conn = -1
 			op.state = outFree
 			sw.conns--
 			if ip.buf.headSeg() != nil {
-				ip.requestRouting(s)
+				ip.requestRouting(s, sh)
 			}
 		}
 	}

@@ -34,6 +34,11 @@ func (t *Table) SetSelector(sel Selector) *Table {
 	return t
 }
 
+// HasSelector reports whether a path-selection policy override is
+// installed. Selectors carry shared mutable state (RNGs, EWMA maps), so the
+// simulator's sharded stepping refuses tables that have one.
+func (t *Table) HasSelector() bool { return t.sel != nil }
+
 // Observe forwards a delivery measurement to the installed selector, if
 // any. Wire it to the simulator's Notify callback for adaptive policies.
 func (t *Table) Observe(srcHost int, r *Route, latencyNs float64) {

@@ -36,8 +36,8 @@ import (
 // optional field means "use the default"; Net plus either (Schemes or
 // Table) plus either (Patterns or Dest) plus Loads are required.
 //
-// Spec is also the public itbsim.RunSpec (and the former itbsim.SweepConfig,
-// whose single-curve fields Table/Dest/Label it subsumes).
+// Spec is also the public itbsim.RunSpec; its single-curve form (a prebuilt
+// Table, an explicit Dest, a verbatim Label) is run with the Sweep method.
 type Spec struct {
 	// Net is the network every job simulates. Required.
 	Net *topology.Network
@@ -71,7 +71,7 @@ type Spec struct {
 	MaxCycles       int64
 
 	// Label prefixes every curve label; a single-curve spec (Table + Dest)
-	// uses it verbatim, preserving the historic SweepConfig behaviour.
+	// uses it verbatim.
 	Label string
 
 	// SaturationRatio is the accepted/injected ratio below which a point
@@ -111,6 +111,13 @@ type Spec struct {
 
 	// Parallel is the worker-goroutine count; 0 means GOMAXPROCS.
 	Parallel int
+	// Shards is the per-simulation shard count, passed through to
+	// netsim.Config.Shards: 0 picks automatically, 1 forces the serial
+	// path. Results are byte-identical at every count. The two axes
+	// compose — Parallel spreads independent curves over workers, Shards
+	// splits each simulation internally — so on a loaded sweep prefer
+	// Parallel and reserve Shards > 1 for few large simulations.
+	Shards int
 	// Context cancels in-flight simulations between cycles and skips
 	// not-yet-started points; nil means context.Background().
 	Context context.Context
@@ -325,6 +332,22 @@ func Run(spec Spec) (*Report, error) {
 	return rep, nil
 }
 
+// Sweep runs the spec as a single curve and returns it: the loads in
+// ascending order, cloning the routing table per point, stopping one point
+// after accepted traffic first drops below the saturation ratio. On error
+// the partial curve is returned alongside it. For multi-curve parallel
+// sweeps use Run.
+func (s Spec) Sweep() (stats.Curve, error) {
+	rep, err := Run(s)
+	if err != nil {
+		if rep != nil && len(rep.Curves) > 0 {
+			return rep.Curves[0].Curve, err
+		}
+		return stats.Curve{Label: s.Label}, err
+	}
+	return rep.Curves[0].Curve, nil
+}
+
 // runJob walks one curve's load grid in order, early-stopping past
 // saturation.
 func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
@@ -383,6 +406,7 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 			Params:          s.Params,
 			Faults:          s.Faults,
 			Reconfigurer:    reconf,
+			Shards:          s.Shards,
 		})
 		if err != nil {
 			cr.Err = fmt.Errorf("load %g: %w", load, err)

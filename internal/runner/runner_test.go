@@ -232,8 +232,8 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
-// TestLabels: grid jobs compose labels; the single-curve form keeps the
-// label verbatim for SweepConfig compatibility.
+// TestLabels: grid jobs compose labels; the single-curve form (Sweep)
+// keeps the label verbatim.
 func TestLabels(t *testing.T) {
 	net := testNet(t)
 	spec := testSpec(t, net)

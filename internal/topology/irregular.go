@@ -12,13 +12,16 @@ import (
 // Generation is deterministic for a given seed.
 func NewRandomIrregular(switches, degree, hostsPerSwitch, switchPorts int, seed int64) (*Network, error) {
 	if switches < 2 {
-		return nil, fmt.Errorf("topology: random irregular needs at least 2 switches, got %d", switches)
+		return nil, &ConfigError{Field: "switches", Value: switches,
+			Reason: "random irregular needs at least 2 switches"}
 	}
 	if degree < 1 {
-		return nil, fmt.Errorf("topology: random irregular needs degree >= 1, got %d", degree)
+		return nil, &ConfigError{Field: "degree", Value: degree,
+			Reason: "random irregular needs degree >= 1"}
 	}
 	if degree+hostsPerSwitch > switchPorts {
-		return nil, fmt.Errorf("topology: degree %d + hosts %d exceeds %d ports", degree, hostsPerSwitch, switchPorts)
+		return nil, &ConfigError{Field: "degree/hostsPerSwitch", Value: fmt.Sprintf("%d+%d", degree, hostsPerSwitch),
+			Reason: fmt.Sprintf("exceeds %d switch ports", switchPorts)}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	b := NewBuilder(fmt.Sprintf("irregular-%d-seed%d", switches, seed), switches, switchPorts)

@@ -14,7 +14,8 @@ func TorusID(row, col, cols int) int { return row*cols + col }
 // hosts, 4 ports left open per switch.
 func NewTorus(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
 	if rows < 2 || cols < 2 {
-		return nil, fmt.Errorf("topology: torus needs at least 2x2 switches, got %dx%d", rows, cols)
+		return nil, &ConfigError{Field: "rows/cols", Value: fmt.Sprintf("%dx%d", rows, cols),
+			Reason: "torus needs at least 2x2 switches"}
 	}
 	b := NewBuilder(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols, switchPorts)
 	// Link each switch to its +1 neighbour in each dimension; the -1
@@ -43,7 +44,8 @@ func NewTorus(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
 // switch are used (4 ring + 4 express + 8 hosts).
 func NewExpressTorus(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
 	if rows < 2 || cols < 2 {
-		return nil, fmt.Errorf("topology: express torus needs at least 2x2 switches, got %dx%d", rows, cols)
+		return nil, &ConfigError{Field: "rows/cols", Value: fmt.Sprintf("%dx%d", rows, cols),
+			Reason: "express torus needs at least 2x2 switches"}
 	}
 	b := NewBuilder(fmt.Sprintf("express-torus-%dx%d", rows, cols), rows*cols, switchPorts)
 	for r := 0; r < rows; r++ {
@@ -80,7 +82,8 @@ func NewExpressTorus(rows, cols, hostsPerSwitch, switchPorts int) (*Network, err
 // the paper's topologies; used by tests and as a user-facing generator.
 func NewMesh(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
 	if rows < 1 || cols < 1 || rows*cols < 2 {
-		return nil, fmt.Errorf("topology: mesh needs at least 2 switches, got %dx%d", rows, cols)
+		return nil, &ConfigError{Field: "rows/cols", Value: fmt.Sprintf("%dx%d", rows, cols),
+			Reason: "mesh needs at least 2 switches"}
 	}
 	b := NewBuilder(fmt.Sprintf("mesh-%dx%d", rows, cols), rows*cols, switchPorts)
 	for r := 0; r < rows; r++ {
@@ -103,7 +106,8 @@ func NewMesh(rows, cols, hostsPerSwitch, switchPorts int) (*Network, error) {
 // tests exercise it directly.
 func NewHypercube(dim, hostsPerSwitch, switchPorts int) (*Network, error) {
 	if dim < 1 || dim > 16 {
-		return nil, fmt.Errorf("topology: hypercube dimension %d out of range [1,16]", dim)
+		return nil, &ConfigError{Field: "dim", Value: dim,
+			Reason: "hypercube dimension out of range [1,16]"}
 	}
 	n := 1 << dim
 	b := NewBuilder(fmt.Sprintf("hypercube-%d", dim), n, switchPorts)

@@ -11,7 +11,8 @@ func Torus3DID(x, y, z, Y, Z int) int { return (x*Y+y)*Z + z }
 // same switches; the routing and ITB machinery apply unchanged.
 func NewTorus3D(x, y, z, hostsPerSwitch, switchPorts int) (*Network, error) {
 	if x < 2 || y < 2 || z < 2 {
-		return nil, fmt.Errorf("topology: 3-D torus needs at least 2x2x2 switches, got %dx%dx%d", x, y, z)
+		return nil, &ConfigError{Field: "x/y/z", Value: fmt.Sprintf("%dx%dx%d", x, y, z),
+			Reason: "3-D torus needs at least 2x2x2 switches"}
 	}
 	b := NewBuilder(fmt.Sprintf("torus3d-%dx%dx%d", x, y, z), x*y*z, switchPorts)
 	for i := 0; i < x; i++ {
@@ -45,13 +46,14 @@ func NewTorus3D(x, y, z, hostsPerSwitch, switchPorts int) (*Network, error) {
 // useful negative control for the library.
 func NewFatTree(k, n, switchPorts int) (*Network, error) {
 	if k < 2 {
-		return nil, fmt.Errorf("topology: fat tree needs arity k >= 2, got %d", k)
+		return nil, &ConfigError{Field: "k", Value: k, Reason: "fat tree needs arity k >= 2"}
 	}
 	if n < 2 {
-		return nil, fmt.Errorf("topology: fat tree needs at least 2 levels, got %d", n)
+		return nil, &ConfigError{Field: "n", Value: n, Reason: "fat tree needs at least 2 levels"}
 	}
 	if 2*k > switchPorts {
-		return nil, fmt.Errorf("topology: fat tree arity %d needs %d ports, switches have %d", k, 2*k, switchPorts)
+		return nil, &ConfigError{Field: "switchPorts", Value: switchPorts,
+			Reason: fmt.Sprintf("fat tree arity %d needs %d ports", k, 2*k)}
 	}
 	// k^(n-1) switches per level, n levels.
 	perLevel := 1

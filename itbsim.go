@@ -113,6 +113,18 @@ func NewFaultController(net *Network, mapperHost int, cfg BuildRoutesConfig) *Fa
 	return faults.NewController(net, mapperHost, cfg)
 }
 
+// ConfigError is the typed validation error of the New* topology
+// constructors and of SimConfig validation: the offending field, the value
+// given, and why it was rejected. Unwrap with errors.As:
+//
+//	if _, err := itbsim.NewTorus(1, 8, 8); err != nil {
+//		var ce *itbsim.ConfigError
+//		if errors.As(err, &ce) {
+//			fmt.Println(ce.Field, ce.Reason)
+//		}
+//	}
+type ConfigError = topology.ConfigError
+
 // NewTorus builds a rows×cols 2-D torus with hostsPerSwitch hosts per
 // 16-port switch. The paper's configuration is NewTorus(8, 8, 8).
 func NewTorus(rows, cols, hostsPerSwitch int) (*Network, error) {
