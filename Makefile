@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test lint docs race race-determinism faults bench bench-lowload bench-shards profile clean
+.PHONY: all build vet test lint docs race race-determinism faults bench bench-lowload bench-shards bench-vc profile clean
 
 all: build vet test lint
 
@@ -68,6 +68,12 @@ bench-lowload:
 # route build at this scale dominates).
 bench-shards:
 	sh scripts/bench_shards.sh
+
+# ITB-RR vs VC flow control (2 lanes, LASH) on the small dragonfly —
+# the per-point simulation-cost overhead of the VC switch pipeline.
+# Records the numbers in BENCH_7.json; finishes in under a minute.
+bench-vc:
+	sh scripts/bench_vc.sh
 
 # CPU + heap profile of a two-point sweep (one low-load point, one near
 # saturation) via the -cpuprofile/-memprofile flags every tool accepts.

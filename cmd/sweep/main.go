@@ -20,6 +20,8 @@
 //	sweep -topo torus   -traffic bitrev             # figure 10a
 //	sweep -topo torus   -traffic local -radius 3    # figure 12a
 //	sweep -topo torus -parallel 3 -json             # figure 7a, JSON report
+//	sweep -topo dragonfly -schemes itb-rr,vc        # ITB vs VC flow control
+//	sweep -topo torus -schemes itb-rr,vc -vcs 3     # same on the torus, 3 lanes
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	cf := cli.AddCommonFlags(fs)
 	loadsFlag := fs.String("loads", "", "comma-separated injection rates (default: per-topology grid)")
+	schemesFlag := fs.String("schemes", "", "comma-separated routing schemes to sweep (default: updown,itb-sp,itb-rr)")
 	svgOut := fs.String("svg", "", "also write the figure as an SVG plot to this file")
 	csvOut := fs.String("csv", "", "also write the raw series as CSV to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -76,7 +79,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec := experiments.SpecFor(env, experiments.AllSchemes, []experiments.Pattern{pat},
+	schemes := experiments.AllSchemes
+	if *schemesFlag != "" {
+		if schemes, err = cli.Schemes(*schemesFlag); err != nil {
+			log.Fatal(err)
+		}
+	}
+	spec := experiments.SpecFor(env, schemes, []experiments.Pattern{pat},
 		loads, *cf.Bytes, *cf.Seed, opt)
 	rep, err := runner.Run(spec)
 	if err != nil {

@@ -28,12 +28,13 @@ type Common struct {
 	Radius  *int
 	Hotspot *int
 	Frac    *float64
+	VCs     *int
 }
 
 // AddCommon registers the shared flags on a FlagSet.
 func AddCommon(fs *flag.FlagSet) *Common {
 	return &Common{
-		Topo:    fs.String("topo", "torus", "topology: torus, express, cplant, or irregular"),
+		Topo:    fs.String("topo", "torus", "topology: torus, express, cplant, irregular, dragonfly, hyperx, or fullmesh"),
 		Scale:   fs.String("scale", "medium", "scale: small, medium, or paper (512 hosts)"),
 		Traffic: fs.String("traffic", "uniform", "traffic: uniform, bitrev, hotspot, or local"),
 		Bytes:   fs.Int("bytes", 512, "message payload size in bytes"),
@@ -41,6 +42,7 @@ func AddCommon(fs *flag.FlagSet) *Common {
 		Radius:  fs.Int("radius", 3, "local traffic: max switches to destination"),
 		Hotspot: fs.Int("hotspot", 0, "hotspot traffic: hotspot host"),
 		Frac:    fs.Float64("frac", 0.05, "hotspot traffic: fraction of traffic to the hotspot"),
+		VCs:     fs.Int("vcs", 0, "virtual-channel lanes for the vc scheme (0 = scheme default; see docs/VC.md)"),
 	}
 }
 
@@ -189,13 +191,14 @@ func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
 }
 
 // Options assembles the harness run options from the shared flags,
-// including -shards.
+// including -shards and -vcs.
 func (cf *CommonFlags) Options() (experiments.RunOptions, error) {
 	opt, err := cf.Run.Options()
 	if err != nil {
 		return opt, err
 	}
 	opt.Shards = *cf.Shards
+	opt.VCs = *cf.VCs
 	return opt, nil
 }
 

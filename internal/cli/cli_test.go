@@ -37,6 +37,14 @@ func TestEnvFlags(t *testing.T) {
 	if env.Topo != "cplant" || env.Net.Switches != 50 {
 		t.Errorf("env = %s with %d switches", env.Topo, env.Net.Switches)
 	}
+	c = parse(t, "-topo", "dragonfly", "-scale", "small")
+	env, err = c.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Topo != "dragonfly" || env.Net.Switches != 12 {
+		t.Errorf("env = %s with %d switches", env.Topo, env.Net.Switches)
+	}
 }
 
 func TestEnvErrors(t *testing.T) {
@@ -137,9 +145,11 @@ const commonHelp = "  -bytes int\n" +
 	"  -shards int\n" +
 	"    \tper-simulation shard count (0 = auto, 1 = serial); results are identical at every count\n" +
 	"  -topo string\n" +
-	"    \ttopology: torus, express, cplant, or irregular (default \"torus\")\n" +
+	"    \ttopology: torus, express, cplant, irregular, dragonfly, hyperx, or fullmesh (default \"torus\")\n" +
 	"  -traffic string\n" +
-	"    \ttraffic: uniform, bitrev, hotspot, or local (default \"uniform\")\n"
+	"    \ttraffic: uniform, bitrev, hotspot, or local (default \"uniform\")\n" +
+	"  -vcs int\n" +
+	"    \tvirtual-channel lanes for the vc scheme (0 = scheme default; see docs/VC.md)\n"
 
 func TestCommonFlagsHelp(t *testing.T) {
 	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
@@ -155,15 +165,15 @@ func TestCommonFlagsHelp(t *testing.T) {
 func TestCommonFlagsOptionsThreadShards(t *testing.T) {
 	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
 	cf := AddCommonFlags(fs)
-	if err := fs.Parse([]string{"-shards", "3", "-parallel", "2"}); err != nil {
+	if err := fs.Parse([]string{"-shards", "3", "-parallel", "2", "-vcs", "4"}); err != nil {
 		t.Fatal(err)
 	}
 	opt, err := cf.Options()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opt.Shards != 3 || opt.Parallel != 2 {
-		t.Errorf("Options() = Shards %d Parallel %d, want 3/2", opt.Shards, opt.Parallel)
+	if opt.Shards != 3 || opt.Parallel != 2 || opt.VCs != 4 {
+		t.Errorf("Options() = Shards %d Parallel %d VCs %d, want 3/2/4", opt.Shards, opt.Parallel, opt.VCs)
 	}
 }
 

@@ -60,13 +60,17 @@ func ParseScale(s string) (Scale, error) {
 	return 0, fmt.Errorf("experiments: unknown scale %q (want small, medium, or paper)", s)
 }
 
-// Topologies evaluated by the paper, plus the random irregular NOWs of the
-// companion studies.
+// Topologies evaluated by the paper, the random irregular NOWs of the
+// companion studies, and the low-diameter fabrics added for the
+// virtual-channel comparison (docs/TOPOLOGIES.md catalogues all of them).
 const (
 	TopoTorus     = "torus"
 	TopoExpress   = "express"
 	TopoCplant    = "cplant"
 	TopoIrregular = "irregular"
+	TopoDragonfly = "dragonfly"
+	TopoHyperX    = "hyperx"
+	TopoFullMesh  = "fullmesh"
 )
 
 // BuildNetwork constructs one of the paper's topologies at a scale.
@@ -92,8 +96,27 @@ func BuildNetwork(topo string, scale Scale) (*topology.Network, error) {
 	case TopoIrregular:
 		// A fixed-seed random irregular NOW sized like the tori's fabric.
 		return topology.NewRandomIrregular(rows*cols, 4, hosts, 16, 20000)
+	case TopoDragonfly:
+		// 9 groups of 4 routers at paper/medium scale (36 switches, near
+		// the tori's fabric size); a 4-group fabric for unit tests.
+		if scale == ScaleSmall {
+			return topology.NewDragonfly(4, 3, 1, hosts, 8)
+		}
+		return topology.NewDragonfly(9, 4, 2, hosts, 16)
+	case TopoHyperX:
+		// A 5x5 2-D HyperX (25 switches); 3x3 for unit tests.
+		if scale == ScaleSmall {
+			return topology.NewHyperX([]int{3, 3}, hosts, 8)
+		}
+		return topology.NewHyperX([]int{5, 5}, hosts, 16)
+	case TopoFullMesh:
+		// 9 fully-connected switches; 5 for unit tests.
+		if scale == ScaleSmall {
+			return topology.NewFullMesh(5, hosts, 8)
+		}
+		return topology.NewFullMesh(9, hosts, 16)
 	}
-	return nil, fmt.Errorf("experiments: unknown topology %q (want torus, express, cplant, or irregular)", topo)
+	return nil, fmt.Errorf("experiments: unknown topology %q (want torus, express, cplant, irregular, dragonfly, hyperx, or fullmesh)", topo)
 }
 
 // MeasurePreset bundles the run-length parameters of a scale.
@@ -164,6 +187,21 @@ type RunOptions struct {
 	// shards (see netsim.Config.Shards); 0 picks automatically, 1 forces
 	// the serial path. Results are identical at every count.
 	Shards int
+	// VCs overrides the virtual-channel lane count of the VC routing
+	// scheme's tables (0 keeps the scheme default of 2). Other schemes
+	// ignore it.
+	VCs int
+}
+
+// routeConfigFor maps a scheme to its table-construction config, applying
+// the VC lane-count override; it is the RouteConfig every harness spec and
+// direct point share, so cached tables are keyed consistently.
+func routeConfigFor(scheme routes.Scheme, vcs int) routes.Config {
+	cfg := routes.DefaultConfig(scheme)
+	if vcs > 0 && scheme == routes.VC {
+		cfg.VCs = vcs
+	}
+	return cfg
 }
 
 // SpecFor assembles the runner spec the harnesses share: the environment's
@@ -189,6 +227,9 @@ func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, m
 		Metrics:         opt.Metrics,
 		Faults:          opt.Faults,
 		Shards:          opt.Shards,
+		RouteConfig: func(s routes.Scheme) routes.Config {
+			return routeConfigFor(s, opt.VCs)
+		},
 	}
 }
 
@@ -200,6 +241,8 @@ type PointOptions struct {
 	Tracer          netsim.Tracer
 	// Shards is netsim.Config.Shards for the point: 0 auto, 1 serial.
 	Shards int
+	// VCs overrides the VC scheme's lane count, as in RunOptions.VCs.
+	VCs int
 }
 
 // RunOne executes a single simulation point.
@@ -214,7 +257,7 @@ func RunOneTraced(e *Env, scheme routes.Scheme, p Pattern, load float64, msgByte
 
 // RunOnePoint executes a single simulation point with explicit options.
 func RunOnePoint(e *Env, scheme routes.Scheme, p Pattern, load float64, msgBytes int, seed int64, opt PointOptions) (*netsim.Result, error) {
-	tab, err := e.Table(scheme)
+	tab, err := e.Cache.Get(e.Net, routeConfigFor(scheme, opt.VCs))
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +317,14 @@ func DefaultLoads(topo string, scale Scale) []float64 {
 		base = []float64{0.01, 0.02, 0.03, 0.045, 0.06, 0.075, 0.09, 0.105, 0.12, 0.135, 0.15}
 	case TopoCplant:
 		base = []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.065, 0.08, 0.095, 0.11, 0.125}
+	case TopoDragonfly, TopoHyperX:
+		// Low-diameter fabrics: 2-3 hops to anywhere, so saturation sits
+		// well above the tori's.
+		base = []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.125, 0.15, 0.175, 0.20, 0.23}
+	case TopoFullMesh:
+		// Diameter 1: every pair one hop apart; only the host links and the
+		// single channel per pair limit throughput.
+		base = []float64{0.03, 0.06, 0.09, 0.12, 0.16, 0.20, 0.24, 0.28, 0.32}
 	default: // torus
 		base = []float64{0.002, 0.005, 0.008, 0.011, 0.014, 0.017, 0.021, 0.025, 0.029, 0.033, 0.037}
 	}
@@ -292,6 +343,8 @@ func LocalLoads(topo string, scale Scale) []float64 {
 		base = []float64{0.05, 0.09, 0.13, 0.17, 0.21, 0.25, 0.29, 0.33}
 	case TopoCplant:
 		base = []float64{0.04, 0.07, 0.10, 0.13, 0.16, 0.19, 0.22}
+	case TopoDragonfly, TopoHyperX, TopoFullMesh:
+		base = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35}
 	default:
 		base = []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16}
 	}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// DocComment flags exported package-level identifiers that carry no doc
+// comment in the packages whose exported surface is the simulator's API
+// documentation. godoc is the contract for those packages: an exported
+// type, function, method, constant or variable without a comment is an
+// undocumented knob someone will misuse. Methods on unexported types are
+// exempt (they are unreachable from outside the package), as is anything
+// under a documented const/var/type group — the group comment is the doc.
+// A deliberate omission is annotated //lint:ignore doccomment <reason>.
+type DocComment struct {
+	// Scope is the set of import paths the rule applies to.
+	Scope map[string]bool
+}
+
+func (DocComment) Name() string { return "doccomment" }
+func (DocComment) Doc() string {
+	return "exported identifier without a doc comment in API-documented packages"
+}
+
+func (r DocComment) Check(pkg *Package) []Finding {
+	if !r.Scope[pkg.Path] {
+		return nil
+	}
+	var out []Finding
+	report := func(name *ast.Ident, kind string) {
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(name.Pos()),
+			Rule: r.Name(),
+			Message: fmt.Sprintf("exported %s %s has no doc comment; this package's exported surface is API documentation",
+				kind, name.Name),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					if base := receiverTypeName(d.Recv); base != "" && !ast.IsExported(base) {
+						continue
+					}
+					kind = "method"
+				}
+				report(d.Name, kind)
+			case *ast.GenDecl:
+				kind := ""
+				switch d.Tok.String() {
+				case "type":
+					kind = "type"
+				case "const":
+					kind = "constant"
+				case "var":
+					kind = "variable"
+				default:
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							report(s.Name, kind)
+						}
+					case *ast.ValueSpec:
+						// A group comment on the decl documents every
+						// member; otherwise each spec needs its own doc
+						// (a trailing line comment counts).
+						if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								report(name, kind)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName extracts the base type name of a method receiver,
+// unwrapping pointers and type parameters; "" when it has no plain name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

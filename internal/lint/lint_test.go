@@ -10,7 +10,7 @@ import (
 	"itbsim/internal/lint"
 )
 
-// fixtureRules configures the five rules for the testdata/src fixture
+// fixtureRules configures the six rules for the testdata/src fixture
 // module, mirroring how repo.go configures them for the real tree: one
 // deliberately violating package per rule plus one clean package that is
 // inside every rule's scope.
@@ -18,11 +18,13 @@ func fixtureRules() []lint.Rule {
 	det := map[string]bool{"fixture/det": true, "fixture/clean": true}
 	clock := map[string]bool{"fixture/clock": true, "fixture/clean": true}
 	floats := map[string]bool{"fixture/floats": true, "fixture/clean": true}
+	doc := map[string]bool{"fixture/doc": true, "fixture/clean": true}
 	layers := map[string]int{
 		"fixture/base":   0,
 		"fixture/upward": 0,
 		"fixture/det":    1,
 		"fixture/clock":  1,
+		"fixture/doc":    1,
 		"fixture/errs":   1,
 		"fixture/floats": 1,
 		"fixture/peer":   1,
@@ -35,6 +37,7 @@ func fixtureRules() []lint.Rule {
 		lint.Layering{Module: "fixture", Layers: layers},
 		lint.ErrCheckLite{Allow: lint.DefaultErrCheckAllow},
 		lint.FloatEq{Scope: floats},
+		lint.DocComment{Scope: doc},
 	}
 }
 
@@ -65,6 +68,11 @@ func TestFixtureFindings(t *testing.T) {
 		"testdata/src/det/det.go:10:2 detrange: range over map map[string]int has nondeterministic order; iterate sorted keys or annotate an order-insensitive loop",
 		"testdata/src/det/det.go:39:2 ignore: malformed directive: want //lint:ignore <rule> <reason>",
 		"testdata/src/det/det.go:40:2 detrange: range over map map[int]int has nondeterministic order; iterate sorted keys or annotate an order-insensitive loop",
+		"testdata/src/doc/doc.go:7:6 doccomment: exported type U has no doc comment; this package's exported surface is API documentation",
+		"testdata/src/doc/doc.go:15:7 doccomment: exported constant C has no doc comment; this package's exported surface is API documentation",
+		"testdata/src/doc/doc.go:19:5 doccomment: exported variable E has no doc comment; this package's exported surface is API documentation",
+		"testdata/src/doc/doc.go:24:6 doccomment: exported function G has no doc comment; this package's exported surface is API documentation",
+		"testdata/src/doc/doc.go:26:10 doccomment: exported method M has no doc comment; this package's exported surface is API documentation",
 		"testdata/src/errs/errs.go:12:2 errcheck-lite: error result of os.Remove is dropped; handle it or assign to _",
 		"testdata/src/floats/floats.go:6:11 floateq: floating-point == is exact; compare with a tolerance or annotate why exact equality holds",
 		"testdata/src/peer/peer.go:5:8 layering: import of fixture/det (layer 1) from fixture/peer (layer 1) points up the stack; the DAG is documented in docs/LINT.md",
@@ -155,6 +163,40 @@ func TestMarkdownFindings(t *testing.T) {
 	}
 	if !strings.Contains(findings[1].Message, "gone.md") {
 		t.Errorf("second finding %q does not name the missing file", findings[1].Message)
+	}
+}
+
+// TestMarkdownOrphans pins orphan detection: a file under docs/ that no
+// other markdown file links to is a finding; linked docs and top-level
+// files are not. A doc linking only itself stays an orphan.
+func TestMarkdownOrphans(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("README.md", "# Readme\n\nSee [linked](docs/LINKED.md).\n")
+	write(filepath.Join("docs", "LINKED.md"), "# Linked\n")
+	write(filepath.Join("docs", "LOST.md"), "# Lost\n\nA [self link](#lost) and [me again](LOST.md#lost).\n")
+
+	findings, n, err := lint.Markdown([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("checked %d files, want 3", n)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if filepath.Base(f.Pos.Filename) != "LOST.md" || !strings.Contains(f.Message, "orphaned") {
+		t.Errorf("finding = %s, want orphaned-document finding on LOST.md", f)
 	}
 }
 

@@ -26,7 +26,10 @@ import (
 //     linking file's directory; absolute URLs and mailto: are skipped);
 //   - fragment targets (#section, FILE.md#section) must match a heading
 //     in the target markdown file, using GitHub's slug rules (lowercase,
-//     punctuation dropped, spaces to hyphens, -N suffix on duplicates).
+//     punctuation dropped, spaces to hyphens, -N suffix on duplicates);
+//   - every file inside a docs/ directory must be linked from at least one
+//     other markdown file — an orphaned document is unreachable from the
+//     README and silently rots.
 
 // MarkdownRuleName is the rule name markdown findings are reported under.
 const MarkdownRuleName = "mdlink"
@@ -65,8 +68,15 @@ func Markdown(roots []string) ([]Finding, int, error) {
 
 	var out []Finding
 	anchors := map[string]map[string]bool{} // md path -> set of heading slugs
+	linked := map[string]bool{}             // md paths reached by a link from another file
 	for _, f := range files {
-		out = append(out, checkMarkdownFile(f, anchors)...)
+		out = append(out, checkMarkdownFile(f, anchors, linked)...)
+	}
+	for _, f := range files {
+		if filepath.Base(filepath.Dir(f)) == "docs" && !linked[filepath.Clean(f)] {
+			out = append(out, mdFinding(f, 1,
+				"orphaned document: no other markdown file links to it"))
+		}
 	}
 	Sort(out)
 	return out, len(files), nil
@@ -87,7 +97,7 @@ func mdFinding(path string, line int, format string, args ...any) Finding {
 	}
 }
 
-func checkMarkdownFile(path string, anchors map[string]map[string]bool) []Finding {
+func checkMarkdownFile(path string, anchors map[string]map[string]bool, linked map[string]bool) []Finding {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return []Finding{mdFinding(path, 0, "%v", err)}
@@ -104,7 +114,7 @@ func checkMarkdownFile(path string, anchors map[string]map[string]bool) []Findin
 			continue
 		}
 		for _, m := range linkRe.FindAllStringSubmatch(codeSpanRe.ReplaceAllString(line, ""), -1) {
-			if p := checkLink(path, m[1], anchors); p != "" {
+			if p := checkLink(path, m[1], anchors, linked); p != "" {
 				out = append(out, mdFinding(path, i+1, "%s", p))
 			}
 		}
@@ -112,7 +122,7 @@ func checkMarkdownFile(path string, anchors map[string]map[string]bool) []Findin
 	return out
 }
 
-func checkLink(from, target string, anchors map[string]map[string]bool) string {
+func checkLink(from, target string, anchors map[string]map[string]bool, linked map[string]bool) string {
 	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
 		return "" // external (https:, mailto:, ...) — existence not checked
 	}
@@ -122,6 +132,11 @@ func checkLink(from, target string, anchors map[string]map[string]bool) string {
 		resolved = filepath.Join(filepath.Dir(from), file)
 		if _, err := os.Stat(resolved); err != nil {
 			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+		// Self-links don't count for orphan detection: a document must be
+		// reachable from some *other* file.
+		if filepath.Clean(resolved) != filepath.Clean(from) {
+			linked[filepath.Clean(resolved)] = true
 		}
 	}
 	if frag == "" {

@@ -78,6 +78,16 @@ var repoPrefixLayers = map[string]int{
 	"itbsim/examples/": 11,
 }
 
+// repoDocumented lists the packages whose exported surface is treated as
+// API documentation; doccomment applies here. The simulator core, the
+// topology generators and the route builders are the packages external
+// code (and the public facade) programs against.
+var repoDocumented = map[string]bool{
+	"itbsim/internal/netsim":   true,
+	"itbsim/internal/topology": true,
+	"itbsim/internal/routes":   true,
+}
+
 // RepoRules returns the shipped rule set configured for this repository.
 func RepoRules() []Rule {
 	return []Rule{
@@ -86,6 +96,7 @@ func RepoRules() []Rule {
 		Layering{Module: RepoModule, Layers: repoLayers, PrefixLayers: repoPrefixLayers},
 		ErrCheckLite{Allow: DefaultErrCheckAllow},
 		FloatEq{Scope: repoStats},
+		DocComment{Scope: repoDocumented},
 	}
 }
 

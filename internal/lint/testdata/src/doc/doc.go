@@ -1,0 +1,33 @@
+// Package doc violates (and suppresses) the doccomment rule.
+package doc
+
+// T is a documented type: no finding.
+type T struct{}
+
+type U struct{} // a trailing comment does not document a type: finding
+
+// Grouped constants share the group doc comment: exempt.
+const (
+	A = iota
+	B
+)
+
+const C = 3
+
+var D int // a trailing comment documents a var: exempt.
+
+var E int
+
+// F is documented: no finding.
+func F() {}
+
+func G() {}
+
+func (T) M() {}
+
+//lint:ignore doccomment kept exported for the fixture's own tests
+func H() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {}

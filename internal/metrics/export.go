@@ -141,6 +141,19 @@ func WriteCSV(w io.Writer, points []ExportPoint) error {
 				}
 			}
 		}
+		for _, vm := range m.VCs {
+			if err := emit(p, "vc", vm.VC, "mean_buf_flits", f(vm.MeanBufFlits)); err != nil {
+				return err
+			}
+			if err := emit(p, "vc", vm.VC, "peak_buf_flits", i(int64(vm.PeakBufFlits))); err != nil {
+				return err
+			}
+			for w, occ := range vm.Window {
+				if err := emit(p, "vc_window", vm.VC, strconv.Itoa(w), f(occ)); err != nil {
+					return err
+				}
+			}
+		}
 		if m.Traffic != nil {
 			for w := range m.Traffic.Delivered {
 				for _, row := range []struct {

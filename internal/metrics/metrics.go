@@ -116,6 +116,19 @@ type Collector struct {
 	dropSeries                       []uint32
 	retransSeries                    []uint32
 
+	// Per-virtual-channel network-wide buffer occupancy (EnableVCs), fed by
+	// SampleVCOcc once per lane per boundary. Unlike the link series these
+	// are point samples, not deltas, so rebinning accumulates sample sums
+	// and vcCount tracks how many samples each series window holds — counts
+	// diverge across windows after a rebin (merged windows hold more samples
+	// than ones sampled at the widened width), so the count is per window,
+	// not a single factor.
+	numVCs      int
+	vcOccSum    []int64
+	vcOccPeak   []int32
+	vcOccSeries []uint32 // row-major [window][vc], sums of boundary samples
+	vcCount     []uint32 // boundary samples merged into each series window
+
 	samples int64 // boundary samples taken (== windows before rebinning)
 }
 
@@ -137,6 +150,26 @@ func NewCollector(cfg Config, channels, switches, hosts int) *Collector {
 		reinjects:    make([]int64, hosts),
 		backpressure: make([]int64, hosts),
 	}
+}
+
+// EnableVCs switches on per-virtual-channel occupancy collection for a
+// simulator running numVCs lanes. Call once, before Start; the driver then
+// feeds SampleVCOcc for every lane at each window boundary.
+func (c *Collector) EnableVCs(numVCs int) {
+	c.numVCs = numVCs
+	c.vcOccSum = make([]int64, numVCs)
+	c.vcOccPeak = make([]int32, numVCs)
+}
+
+// SampleVCOcc feeds one lane's network-wide buffered flit count (summed over
+// every switch input port) at a window boundary. Call for lanes 0..numVCs-1
+// in order, once per window.
+func (c *Collector) SampleVCOcc(vc, occFlits int) {
+	c.vcOccSum[vc] += int64(occFlits)
+	if int32(occFlits) > c.vcOccPeak[vc] {
+		c.vcOccPeak[vc] = int32(occFlits)
+	}
+	c.vcOccSeries = append(c.vcOccSeries, uint32(occFlits))
 }
 
 // Start opens the measurement period at the given cycle.
@@ -210,6 +243,9 @@ func (c *Collector) SampleTraffic(deliveredTotal, droppedTotal, retransmitsTotal
 func (c *Collector) CloseWindow(cycle int64) {
 	c.windows++
 	c.samples++
+	if c.numVCs > 0 && len(c.vcOccSeries) == c.windows*c.numVCs {
+		c.vcCount = append(c.vcCount, 1)
+	}
 	if c.windows >= c.maxWindows {
 		c.rebin()
 	}
@@ -240,6 +276,19 @@ func (c *Collector) rebin() {
 			s[w] = s[2*w] + s[2*w+1]
 		}
 		*series = s[:half]
+	}
+	if c.numVCs > 0 && len(c.vcOccSeries) >= 2*half*c.numVCs && len(c.vcCount) >= 2*half {
+		for w := 0; w < half; w++ {
+			a := c.vcOccSeries[(2*w)*c.numVCs : (2*w+1)*c.numVCs]
+			b := c.vcOccSeries[(2*w+1)*c.numVCs : (2*w+2)*c.numVCs]
+			dst := c.vcOccSeries[w*c.numVCs : (w+1)*c.numVCs]
+			for i := range dst {
+				dst[i] = a[i] + b[i]
+			}
+			c.vcCount[w] = c.vcCount[2*w] + c.vcCount[2*w+1]
+		}
+		c.vcOccSeries = c.vcOccSeries[:half*c.numVCs]
+		c.vcCount = c.vcCount[:half]
 	}
 	c.windows = half
 	c.windowCycles *= 2
@@ -311,6 +360,23 @@ func (c *Collector) Finalize(measuredCycles int64, cycleNs float64, ends func(ch
 		hm.PeakPoolBytes = int(c.poolPeak[h])
 		hm.BackpressureCycles = c.backpressure[h]
 	}
+	if c.numVCs > 0 {
+		m.VCs = make([]VCMetrics, c.numVCs)
+		for v := range m.VCs {
+			vm := &m.VCs[v]
+			vm.VC = v
+			if c.samples > 0 {
+				vm.MeanBufFlits = float64(c.vcOccSum[v]) / float64(c.samples)
+			}
+			vm.PeakBufFlits = int(c.vcOccPeak[v])
+			if c.windows > 0 && len(c.vcOccSeries) == c.windows*c.numVCs && len(c.vcCount) == c.windows {
+				vm.Window = make([]float64, c.windows)
+				for w := range vm.Window {
+					vm.Window[w] = float64(c.vcOccSeries[w*c.numVCs+v]) / float64(c.vcCount[w])
+				}
+			}
+		}
+	}
 	if len(c.delivSeries) == c.windows && c.windows > 0 {
 		t := &TrafficMetrics{
 			Delivered:   make([]int64, c.windows),
@@ -355,6 +421,10 @@ type Metrics struct {
 	Switches []SwitchMetrics `json:"switches"`
 	Hosts    []HostMetrics   `json:"hosts"`
 
+	// VCs is the per-virtual-channel occupancy telemetry of a run under VC
+	// flow control (nil otherwise — stop & go runs have no lanes).
+	VCs []VCMetrics `json:"vcs,omitempty"`
+
 	// Traffic is the network-wide per-window delivery/drop/retransmission
 	// series (nil when the driver does not feed SampleTraffic, or on
 	// aggregated metrics whose replicas had different window shapes). It is
@@ -394,6 +464,22 @@ type TrafficMetrics struct {
 	Delivered   []int64 `json:"delivered"`
 	Dropped     []int64 `json:"dropped"`
 	Retransmits []int64 `json:"retransmits"`
+}
+
+// VCMetrics is one virtual channel's occupancy telemetry: how many flits
+// the lane held, summed over every switch input port in the network, sampled
+// at window boundaries. Comparing lanes shows how the layered routing loads
+// them — lane 0 (the escape layer) filling while higher lanes idle means the
+// layering is falling back too often.
+type VCMetrics struct {
+	VC int `json:"vc"`
+	// MeanBufFlits is the mean network-wide buffered flit count across
+	// boundary samples; PeakBufFlits the largest sampled value.
+	MeanBufFlits float64 `json:"mean_buf_flits"`
+	PeakBufFlits int     `json:"peak_buf_flits"`
+	// Window is the per-window mean occupancy series (nil on aggregated
+	// metrics whose replicas had different window shapes).
+	Window []float64 `json:"window,omitempty"`
 }
 
 // SwitchMetrics is one switch's input-buffer occupancy telemetry, sampled
@@ -505,6 +591,33 @@ func Aggregate(ms []*Metrics) *Metrics {
 				hm.PeakPoolBytes = m.Hosts[i].PeakPoolBytes
 			}
 			hm.BackpressureCycles += m.Hosts[i].BackpressureCycles
+		}
+	}
+	vcShape := len(first.VCs) > 0
+	for _, m := range live {
+		if len(m.VCs) != len(first.VCs) {
+			vcShape = false
+		}
+	}
+	if vcShape {
+		out.VCs = make([]VCMetrics, len(first.VCs))
+		for i := range out.VCs {
+			vm := &out.VCs[i]
+			vm.VC = first.VCs[i].VC
+			if sameShape && first.Windows > 0 {
+				vm.Window = make([]float64, first.Windows)
+			}
+			for _, m := range live {
+				vm.MeanBufFlits += m.VCs[i].MeanBufFlits / n
+				if m.VCs[i].PeakBufFlits > vm.PeakBufFlits {
+					vm.PeakBufFlits = m.VCs[i].PeakBufFlits
+				}
+				if vm.Window != nil {
+					for w := range vm.Window {
+						vm.Window[w] += m.VCs[i].Window[w] / n
+					}
+				}
+			}
 		}
 	}
 	trafficShape := sameShape

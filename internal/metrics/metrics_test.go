@@ -271,3 +271,102 @@ func TestExportDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// driveVCCollector runs a synthetic VC measurement: lane v holds a constant
+// 10*(v+1) flits network-wide at every boundary.
+func driveVCCollector(t *testing.T, cfg Config, numVCs, windows int) *Metrics {
+	t.Helper()
+	c := NewCollector(cfg, 1, 1, 1)
+	c.EnableVCs(numVCs)
+	c.Start(0)
+	var busy int64
+	cycle := int64(0)
+	for w := 0; w < windows; w++ {
+		cycle = c.NextSample()
+		busy += c.windowCycles / 2
+		c.SampleLink(0, busy)
+		c.SampleSwitchOcc(0, 0)
+		c.SampleHostPool(0, 0)
+		for v := 0; v < numVCs; v++ {
+			c.SampleVCOcc(v, 10*(v+1))
+		}
+		c.CloseWindow(cycle)
+	}
+	return c.Finalize(cycle, 6.25,
+		func(int) (int, int) { return 0, 1 },
+		func(int) (int64, int64) { return busy, 0 })
+}
+
+func TestVCOccupancySeries(t *testing.T) {
+	m := driveVCCollector(t, Config{WindowCycles: 64, MaxWindows: 512}, 3, 8)
+	if len(m.VCs) != 3 {
+		t.Fatalf("got %d VC entries, want 3", len(m.VCs))
+	}
+	for v, vm := range m.VCs {
+		want := float64(10 * (v + 1))
+		if vm.VC != v || vm.MeanBufFlits != want || vm.PeakBufFlits != int(want) {
+			t.Errorf("lane %d: %+v, want mean/peak %g", v, vm, want)
+		}
+		if len(vm.Window) != 8 {
+			t.Fatalf("lane %d: %d windows, want 8", v, len(vm.Window))
+		}
+		for w, got := range vm.Window {
+			if got != want {
+				t.Errorf("lane %d window %d = %g, want %g", v, w, got, want)
+			}
+		}
+	}
+}
+
+func TestVCOccupancyRebin(t *testing.T) {
+	// 16 windows into MaxWindows 4: repeated rebinning merges point samples;
+	// a constant occupancy must survive the sample-sum/vcFactor division
+	// unchanged.
+	m := driveVCCollector(t, Config{WindowCycles: 64, MaxWindows: 4}, 2, 16)
+	if m.Windows != 2 {
+		t.Fatalf("got %d windows, want 2", m.Windows)
+	}
+	for v, vm := range m.VCs {
+		want := float64(10 * (v + 1))
+		for w, got := range vm.Window {
+			if got != want {
+				t.Errorf("lane %d rebinned window %d = %g, want %g", v, w, got, want)
+			}
+		}
+	}
+}
+
+func TestVCOccupancyAggregate(t *testing.T) {
+	a := driveVCCollector(t, Config{WindowCycles: 64, MaxWindows: 512}, 2, 4)
+	b := driveVCCollector(t, Config{WindowCycles: 64, MaxWindows: 512}, 2, 4)
+	g := Aggregate([]*Metrics{a, b})
+	if len(g.VCs) != 2 {
+		t.Fatalf("aggregated VC entries: %d, want 2", len(g.VCs))
+	}
+	if g.VCs[1].MeanBufFlits != 20 || g.VCs[1].PeakBufFlits != 20 {
+		t.Errorf("aggregated lane 1: %+v", g.VCs[1])
+	}
+	if len(g.VCs[1].Window) != 4 || g.VCs[1].Window[0] != 20 {
+		t.Errorf("aggregated lane 1 window: %v", g.VCs[1].Window)
+	}
+	// A stop & go replica (no VCs) mixed in drops the section.
+	c := driveCollector2(t)
+	if g2 := Aggregate([]*Metrics{a, c}); g2.VCs != nil {
+		t.Error("mixed VC/non-VC aggregation should drop the VC section")
+	}
+}
+
+// driveCollector2 is a minimal non-VC replica for the mixed-aggregation case.
+func driveCollector2(t *testing.T) *Metrics {
+	t.Helper()
+	c := NewCollector(Config{WindowCycles: 64, MaxWindows: 512}, 1, 1, 1)
+	c.Start(0)
+	cycle := c.NextSample()
+	c.SampleLink(0, 32)
+	c.SampleSwitchOcc(0, 0)
+	c.SampleHostPool(0, 0)
+	c.CloseWindow(cycle)
+	return c.Finalize(cycle, 6.25,
+		func(int) (int, int) { return 0, 1 },
+		func(int) (int64, int64) { return 32, 0 })
+}

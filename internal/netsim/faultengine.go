@@ -40,6 +40,7 @@ const (
 	numDropReasons
 )
 
+// String names the drop reason for reports and logs.
 func (r DropReason) String() string {
 	switch r {
 	case DropInFlight:

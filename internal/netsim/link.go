@@ -1,5 +1,7 @@
 package netsim
 
+import "fmt"
+
 // flitInFlight is one flit travelling on a cable.
 type flitInFlight struct {
 	pkt    *packet
@@ -7,9 +9,13 @@ type flitInFlight struct {
 	arrive int64
 }
 
-// signalInFlight is a stop/go control flit travelling back to the sender.
+// signalInFlight is a control flit travelling back to the sender: a
+// stop/go update under stop & go flow control, or a one-flit credit return
+// for lane vc under virtual-channel flow control (the link's credits slice
+// decides which interpretation applies).
 type signalInFlight struct {
 	stop   bool
+	vc     uint8
 	arrive int64
 }
 
@@ -43,6 +49,14 @@ type link struct {
 	stopped bool // sender-side view of the last control flit
 	down    bool // out of service (fault injection); senders must not push
 
+	// credits is the sender-side per-VC credit count in virtual-channel
+	// mode (nil under stop & go). The sender spends one credit per flit
+	// pushed on a lane; the receiver returns one per flit it consumes from
+	// that lane's buffer, via the same signal pipeline stop & go uses — so
+	// credits are sender-shard state exactly like stopped, and the sharded
+	// core needs no new merge machinery for them.
+	credits []int16
+
 	flits   []flitInFlight
 	flHead  int
 	flNew   []flitInFlight // staged cross-shard pushes (sender-owned)
@@ -57,6 +71,12 @@ type link struct {
 // pushFlit puts one flit on the cable at the current cycle. Called by the
 // sender-side component; sh is its shard (nil from serial code).
 func (l *link) pushFlit(s *Sim, sh *shard, pkt *packet, tail bool) {
+	if l.credits != nil {
+		l.credits[pkt.vc]--
+		if l.credits[pkt.vc] < 0 {
+			panic(fmt.Sprintf("netsim: link %d pushed on VC %d without credit", l.id, pkt.vc))
+		}
+	}
 	f := flitInFlight{pkt: pkt, tail: tail, arrive: s.now + int64(s.p.LinkFlightCycles)}
 	if sh != nil && int32(sh.id) != l.recvShard {
 		if len(l.flNew) == 0 {
@@ -92,11 +112,36 @@ func (l *link) pushSignal(s *Sim, sh *shard, stop bool) {
 	}
 }
 
+// pushCredit returns one credit for lane vc to the sender. It stages
+// cross-shard pushes exactly as pushSignal does; VC mode excludes faults,
+// so there is no dead-cable case. Called by the receiver-side component; sh
+// is its shard (nil from serial code).
+func (l *link) pushCredit(s *Sim, sh *shard, vc int) {
+	g := signalInFlight{vc: uint8(vc), arrive: s.now + int64(s.p.LinkFlightCycles)}
+	if sh != nil && int32(sh.id) != l.sendShard {
+		if len(l.sgNew) == 0 {
+			sh.sgDirty = append(sh.sgDirty, l.id)
+		}
+		l.sgNew = append(l.sgNew, g)
+	} else {
+		l.signals = append(l.signals, g)
+		s.shards[l.sendShard].linkSet.add(l.id)
+	}
+}
+
 // deliverSignals applies arrived control flits to the sender-side state.
 // Runs in the sender shard.
 func (l *link) deliverSignals(s *Sim) {
 	for l.sgHead < len(l.signals) && l.signals[l.sgHead].arrive <= s.now {
-		l.stopped = l.signals[l.sgHead].stop
+		if l.credits != nil {
+			g := l.signals[l.sgHead]
+			l.credits[g.vc]++
+			if int(l.credits[g.vc]) > s.p.VCBufFlits {
+				panic(fmt.Sprintf("netsim: link %d VC %d credits above buffer depth", l.id, g.vc))
+			}
+		} else {
+			l.stopped = l.signals[l.sgHead].stop
+		}
 		l.sgHead++
 	}
 	if l.sgHead == 0 {

@@ -50,6 +50,11 @@ type nic struct {
 	rxStart    int64
 	rxReinj    *reinjState
 
+	// rxVC is the per-lane reception state in VC mode (nil under stop &
+	// go): deliveries on different lanes of the down-link interleave, so
+	// the single-reception fields above do not apply.
+	rxVC []vcRx
+
 	// In-transit packets being received or awaiting their DMA timer.
 	pending []*reinjState
 
@@ -77,6 +82,10 @@ type nic struct {
 
 // receive accepts one flit from the down-link.
 func (n *nic) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
+	if s.vcMode {
+		n.receiveVC(s, sh, pkt, tail)
+		return
+	}
 	if pkt.dead {
 		// Trailing flits of a killed packet drain into the void.
 		return
@@ -241,7 +250,14 @@ func (n *nic) tickTransfer(s *Sim, sh *shard) {
 	if l.down {
 		return
 	}
-	if l.stopped {
+	if l.credits != nil {
+		if l.credits[n.cur.pkt.vc] <= 0 {
+			if s.measuring {
+				l.idleStopped++
+			}
+			return
+		}
+	} else if l.stopped {
 		if s.measuring {
 			l.idleStopped++
 		}

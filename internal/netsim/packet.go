@@ -25,6 +25,12 @@ type packet struct {
 
 	payload int // payload bytes, for accepted-traffic accounting
 
+	// vc is the virtual-channel lane the packet occupies on every link of
+	// its journey (VC flow-control mode only; 0 otherwise). It comes from
+	// the route, so it is part of the source-routing header, not a
+	// per-switch decision.
+	vc uint8
+
 	genCycle    int64 // message generation time at the source host
 	injectCycle int64 // first flit entered the source NIC's link
 	itbVisits   int   // in-transit hosts traversed so far

@@ -81,6 +81,20 @@ type Params struct {
 	// avoids them.
 	SourceBubblePeriod int
 
+	// VCs switches the flow-control model from stop & go to virtual
+	// channels: every link is multiplexed into VCs lanes, each backed by a
+	// private VCBufFlits input buffer governed by credit-based flow
+	// control. 0 (the default) keeps the paper's stop & go model. When a
+	// VC-scheme routing table is in use the simulator fills this from
+	// Table.NumVCs automatically; setting it explicitly must at least
+	// cover the table. See docs/VC.md.
+	VCs int
+	// VCBufFlits is the per-VC input buffer (and so the credit count) of
+	// every link in VC mode; 0 means DefaultVCBufFlits. Full link
+	// throughput on one lane needs at least the credit round-trip,
+	// 2*LinkFlightCycles + 2 flits.
+	VCBufFlits int
+
 	// WatchdogCycles aborts the run if no flit moves for this long while
 	// packets are outstanding (deadlock detector; must never fire for the
 	// routing schemes under test).
@@ -127,6 +141,12 @@ func DefaultParams() Params {
 		WatchdogCycles:   1_000_000,
 	}
 }
+
+// DefaultVCBufFlits is the per-VC buffer depth used when Params.VCBufFlits
+// is left zero in VC mode: the 18-flit credit round-trip (2 x 8-cycle link
+// flight + send and consume slots) plus headroom, so a single lane can
+// saturate its link.
+const DefaultVCBufFlits = 24
 
 // Fault-timing defaults, applied only when a fault plan is active so that
 // parameter sets predating the fault machinery stay valid unchanged.
@@ -194,6 +214,15 @@ func (p Params) Validate() error {
 	}
 	if p.SourceBubblePeriod < 0 {
 		return fmt.Errorf("netsim: source bubble period must be >= 0")
+	}
+	if p.VCs < 0 || p.VCs > 8 {
+		return fmt.Errorf("netsim: VCs must be in [0, 8], got %d", p.VCs)
+	}
+	if p.VCBufFlits < 0 {
+		return fmt.Errorf("netsim: VCBufFlits must be >= 0")
+	}
+	if p.VCs > 0 && p.VCBufFlits > 0 && p.VCBufFlits < 2 {
+		return fmt.Errorf("netsim: VCBufFlits %d cannot hold a header flit and make progress", p.VCBufFlits)
 	}
 	if p.WatchdogCycles < 1000 {
 		return fmt.Errorf("netsim: watchdog below 1000 cycles would misfire")

@@ -120,3 +120,69 @@ func BenchmarkShardedTorusPoint1(b *testing.B) { benchShardedTorusPoint(b, 1) }
 // instead (which must stay small — the shards still interleave through
 // the same barrier protocol).
 func BenchmarkShardedTorusPoint4(b *testing.B) { benchShardedTorusPoint(b, 4) }
+
+// The VC benchmarks compare the two deadlock-avoidance mechanisms on the
+// same fabric and workload: ITB-RR (in-transit buffers, the paper's
+// mechanism) against virtual-channel flow control with a two-lane LASH
+// assignment. The fabric is the small dragonfly (12 switches, 24 hosts)
+// of the VC correctness suite; topology and both routing tables are
+// built once and shared.
+var vcBench struct {
+	once sync.Once
+	net  *topology.Network
+	itb  *routes.Table
+	vc   *routes.Table
+	err  error
+}
+
+func benchVCDragonflyPoint(b *testing.B, scheme routes.Scheme) {
+	b.Helper()
+	vcBench.once.Do(func() {
+		vcBench.net, vcBench.err = topology.NewDragonfly(4, 3, 1, 2, 8)
+		if vcBench.err != nil {
+			return
+		}
+		vcBench.itb, vcBench.err = routes.Build(vcBench.net, routes.DefaultConfig(routes.ITBRR))
+		if vcBench.err != nil {
+			return
+		}
+		cfg := routes.DefaultConfig(routes.VC)
+		cfg.VCs = 2
+		vcBench.vc, vcBench.err = routes.Build(vcBench.net, cfg)
+	})
+	if vcBench.err != nil {
+		b.Fatal(vcBench.err)
+	}
+	net := vcBench.net
+	tab := vcBench.itb
+	if scheme == routes.VC {
+		tab = vcBench.vc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Net:             net,
+			Table:           tab.Clone(),
+			Dest:            uniformDest(net.NumHosts()),
+			Load:            0.05,
+			MessageBytes:    512,
+			Seed:            int64(i + 1),
+			WarmupMessages:  100,
+			MeasureMessages: 500,
+			MaxCycles:       10_000_000,
+		}
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkITBDragonflyPoint is the ITB-RR baseline of BENCH_7.json: the
+// same dragonfly point with deadlock avoidance by in-transit buffers.
+func BenchmarkITBDragonflyPoint(b *testing.B) { benchVCDragonflyPoint(b, routes.ITBRR) }
+
+// BenchmarkVCDragonflyPoint runs the point over virtual-channel flow
+// control (two lanes, LASH layer assignment). The per-lane buffers and
+// credit bookkeeping make each cycle heavier than the ITB path; the
+// acceptance bar is that the slowdown stays around 2x or better.
+func BenchmarkVCDragonflyPoint(b *testing.B) { benchVCDragonflyPoint(b, routes.VC) }

@@ -227,6 +227,12 @@ type Sim struct {
 	numChannels int
 	numHosts    int
 
+	// vcMode selects virtual-channel flow control (Params.VCs > 0 after
+	// New fills it from the table); the per-component tick code branches
+	// into vc.go, so all three step loops share the VC data path.
+	vcMode bool
+	numVCs int
+
 	genIntervalCycles float64
 
 	// Run-state counters.
@@ -282,6 +288,30 @@ func New(cfg Config) (*Sim, error) {
 		}
 		cfg.Params.applyFaultDefaults()
 	}
+	// Virtual-channel gate: a VC-scheme table switches the flow-control
+	// model on and sizes it, because its routes are only deadlock-free when
+	// every lane the layering assigned actually exists.
+	if nv := cfg.Table.NumVCs; nv > 0 {
+		if cfg.Params.VCs == 0 {
+			cfg.Params.VCs = nv
+		} else if cfg.Params.VCs < nv {
+			return nil, &topology.ConfigError{Field: "Params.VCs", Value: cfg.Params.VCs,
+				Reason: fmt.Sprintf("the routing table assigns %d virtual channels", nv)}
+		}
+	}
+	if cfg.Params.VCs > 0 {
+		if cfg.Table.NumVCs == 0 {
+			return nil, &topology.ConfigError{Field: "Params.VCs", Value: cfg.Params.VCs,
+				Reason: "virtual-channel flow control needs a VC-scheme routing table (routes carry no lane assignment)"}
+		}
+		if !cfg.Faults.Empty() {
+			return nil, &topology.ConfigError{Field: "Faults", Value: "non-empty",
+				Reason: "fault injection is not supported under virtual-channel flow control"}
+		}
+		if cfg.Params.VCBufFlits == 0 {
+			cfg.Params.VCBufFlits = DefaultVCBufFlits
+		}
+	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -297,13 +327,17 @@ func New(cfg Config) (*Sim, error) {
 	// shared — alternatives are immutable, and the selector is the
 	// caller's feedback loop.
 	s := &Sim{cfg: cfg, p: cfg.Params, net: cfg.Net, table: cfg.Table.PrivateRR(),
-		dense: cfg.DenseStep, numShards: numShards}
+		dense: cfg.DenseStep, numShards: numShards,
+		vcMode: cfg.Params.VCs > 0, numVCs: cfg.Params.VCs}
 	s.numChannels = cfg.Net.NumChannels()
 	s.numHosts = cfg.Net.NumHosts()
 	s.latHist = metrics.NewHistogram()
 	s.netLatHist = metrics.NewHistogram()
 	if cfg.Metrics != nil {
 		s.mx = metrics.NewCollector(*cfg.Metrics, s.numChannels, cfg.Net.Switches, s.numHosts)
+		if s.vcMode {
+			s.mx.EnableVCs(s.numVCs)
+		}
 	}
 
 	// Injection interval per host, in cycles: Load [flits/ns/switch] *
@@ -450,14 +484,56 @@ func (s *Sim) build() {
 	// never allocates. deliverFlits/deliverSignals compact the drained
 	// head every cycle, bounding a link's live window to one flight time
 	// (+1 being pushed, +1 slack); a burst beyond the window falls back
-	// to a regular append-grown slice for that link.
+	// to a regular append-grown slice for that link. Stop & go sends at
+	// most one control flit per threshold crossing, but credit returns can
+	// reach two per cycle per link (a transfer plus a header strip from
+	// different lanes of the same input), so VC mode doubles the signal
+	// window to the flit one.
 	flCap := s.p.LinkFlightCycles + 2
-	const sgCap = 4
+	sgCap := 4
+	if s.vcMode {
+		sgCap = 2 * (s.p.LinkFlightCycles + 2)
+	}
 	flSlab := make([]flitInFlight, total*flCap)
 	sgSlab := make([]signalInFlight, total*sgCap)
 	for i := range s.links {
 		s.links[i].flits = flSlab[i*flCap : i*flCap : (i+1)*flCap]
 		s.links[i].signals = sgSlab[i*sgCap : i*sgCap : (i+1)*sgCap]
+	}
+
+	// Virtual-channel state: per-lane buffers and connection slots at every
+	// switch input, per-lane request masks and connections at every output,
+	// per-lane reception at every NIC, and a full complement of credits on
+	// every link (host links included — the NIC spends and returns them like
+	// any switch port does).
+	if s.vcMode {
+		V := s.numVCs
+		for i := range s.inPorts {
+			vcs := make([]vcIn, V)
+			for v := range vcs {
+				vcs[v].conn = -1
+				vcs[v].pendingOut = -1
+			}
+			s.inPorts[i].vcs = vcs
+		}
+		for i := range s.outPorts {
+			op := &s.outPorts[i]
+			op.vcReq = make([]uint32, V)
+			op.vconn = make([]int32, V)
+			for v := range op.vconn {
+				op.vconn[v] = -1
+			}
+		}
+		for i := range s.links {
+			cr := make([]int16, V)
+			for v := range cr {
+				cr[v] = int16(s.p.VCBufFlits)
+			}
+			s.links[i].credits = cr
+		}
+		for h := range s.nics {
+			s.nics[h].rxVC = make([]vcRx, V)
+		}
 	}
 
 	// Active sets start with every NIC awake (each either generates on its
@@ -528,6 +604,7 @@ func (s *Sim) generate(sh *shard, n *nic) {
 		payload:  s.cfg.MessageBytes,
 		genCycle: s.now,
 		measured: s.measuring,
+		vc:       uint8(r.VC),
 	}
 	p.wireFlits = s.cfg.MessageBytes + headerFlits(r)
 	sh.dGenerated++
@@ -682,11 +759,23 @@ func (s *Sim) sampleMetrics() {
 		occ := 0
 		for _, ip := range s.switches[i].ins {
 			occ += s.inPorts[ip].buf.occ
+			for v := range s.inPorts[ip].vcs {
+				occ += s.inPorts[ip].vcs[v].buf.occ
+			}
 		}
 		s.mx.SampleSwitchOcc(i, occ)
 	}
 	for h := range s.nics {
 		s.mx.SampleHostPool(h, s.nics[h].poolUsed)
+	}
+	if s.vcMode {
+		for v := 0; v < s.numVCs; v++ {
+			occ := 0
+			for i := range s.inPorts {
+				occ += s.inPorts[i].vcs[v].buf.occ
+			}
+			s.mx.SampleVCOcc(v, occ)
+		}
 	}
 	var dropped, retrans int64
 	if s.fe != nil {
@@ -724,6 +813,7 @@ func (s *Sim) Enqueue(src, dst, payloadBytes int) (int64, error) {
 		payload:  payloadBytes,
 		genCycle: s.now,
 		measured: true,
+		vc:       uint8(r.VC),
 	}
 	p.wireFlits = payloadBytes + headerFlits(r)
 	s.generatedTotal++

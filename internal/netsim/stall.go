@@ -87,6 +87,11 @@ func (s *Sim) stallDump(k int) *StallDump {
 		for _, seg := range ip.buf.segs[ip.buf.head:] {
 			note(seg.pkt, fmt.Sprintf("switch %d input of link %d", ip.sw, ip.link), ip.sw, ip.localIdx)
 		}
+		for v := range ip.vcs {
+			for _, seg := range ip.vcs[v].buf.segs[ip.vcs[v].buf.head:] {
+				note(seg.pkt, fmt.Sprintf("switch %d input of link %d lane %d", ip.sw, ip.link, v), ip.sw, ip.localIdx)
+			}
+		}
 	}
 	for i := range s.links {
 		l := &s.links[i]
@@ -97,6 +102,9 @@ func (s *Sim) stallDump(k int) *StallDump {
 	for h := range s.nics {
 		n := &s.nics[h]
 		note(n.rxPkt, fmt.Sprintf("host %d receiving", h), -1, -1)
+		for v := range n.rxVC {
+			note(n.rxVC[v].pkt, fmt.Sprintf("host %d receiving lane %d", h, v), -1, -1)
+		}
 		if n.active {
 			note(n.cur.pkt, fmt.Sprintf("host %d injecting", h), -1, -1)
 		}

@@ -26,12 +26,20 @@ type inPort struct {
 	pendingOut int
 
 	lastSignalStop bool // receiver-side flow-control state
+
+	// vcs holds the per-lane buffers and connection state in VC mode
+	// (nil under stop & go); buf/conn/pendingOut above are unused then.
+	vcs []vcIn
 }
 
 // receive accepts one flit from the link into the slack buffer and updates
 // stop/go flow control. If this flit starts a new head packet, the packet's
 // output request is registered.
 func (ip *inPort) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
+	if s.vcMode {
+		ip.receiveVC(s, sh, pkt, tail)
+		return
+	}
 	if pkt.dead {
 		// Trailing flits of a killed packet drain into the void; the
 		// buffered part was removed when the packet was killed.
@@ -116,6 +124,16 @@ type outPort struct {
 	inp       int    // input port being served / connected (global index)
 	rr        int    // round-robin position (local input index last granted)
 	reqMask   uint32 // local input indices with a packet waiting for this output
+
+	// VC mode (nil/zero under stop & go). The routing unit above is shared:
+	// one header setup at a time per output, with setupVC naming the lane it
+	// serves; the per-lane connection state lives in vconn so the unit can
+	// return to outFree while connections stream.
+	vcReq   []uint32 // per-lane request masks over local input indices
+	vconn   []int32  // per-lane connected input port (global index), -1 free
+	nconn   int      // connected lanes on this output
+	setupVC int      // lane the current outSetup serves
+	txRR    int      // per-cycle flit round robin over connected lanes
 }
 
 // swtch groups the ports of one physical switch. The crossbar is implicit:
@@ -134,6 +152,10 @@ type swtch struct {
 // tickRouting advances the routing control units of one switch: finishes
 // header setups and grants free output ports to requesting inputs.
 func (sw *swtch) tickRouting(s *Sim, sh *shard) {
+	if s.vcMode {
+		sw.tickRoutingVC(s, sh)
+		return
+	}
 	if sw.setups > 0 {
 		for _, oi := range sw.outs {
 			op := &s.outPorts[oi]
@@ -200,6 +222,10 @@ func (sw *swtch) tickRouting(s *Sim, sh *shard) {
 // the next packet in the input buffer (if any) registers its routing
 // request.
 func (sw *swtch) tickTransfer(s *Sim, sh *shard) {
+	if s.vcMode {
+		sw.tickTransferVC(s, sh)
+		return
+	}
 	if sw.conns == 0 {
 		return
 	}

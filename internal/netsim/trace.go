@@ -34,6 +34,7 @@ const (
 	numEventKinds
 )
 
+// String names the event kind as it appears in trace output.
 func (k EventKind) String() string {
 	switch k {
 	case EvGenerate:
@@ -70,6 +71,7 @@ type Event struct {
 	Link   int
 }
 
+// String renders the event as one aligned trace line.
 func (e Event) String() string {
 	switch e.Kind {
 	case EvRoute:

@@ -16,12 +16,14 @@ import (
 type tableJSON struct {
 	Scheme   string      `json:"scheme"`
 	Switches int         `json:"switches"`
+	NumVCs   int         `json:"num_vcs,omitempty"`
 	Routes   []routeJSON `json:"routes"`
 }
 
 type routeJSON struct {
 	Src  int       `json:"src"`
 	Dst  int       `json:"dst"`
+	VC   int       `json:"vc,omitempty"`
 	Segs []segJSON `json:"segs"`
 }
 
@@ -32,11 +34,11 @@ type segJSON struct {
 
 // Encode writes the table as JSON.
 func Encode(w io.Writer, t *Table) error {
-	j := tableJSON{Scheme: t.Scheme.String(), Switches: t.Net.Switches}
+	j := tableJSON{Scheme: t.Scheme.String(), Switches: t.Net.Switches, NumVCs: t.NumVCs}
 	for s := range t.Alts {
 		for d := range t.Alts[s] {
 			for _, r := range t.Alts[s][d] {
-				rj := routeJSON{Src: s, Dst: d}
+				rj := routeJSON{Src: s, Dst: d, VC: r.VC}
 				for _, seg := range r.Segs {
 					ch := seg.Channels
 					if ch == nil {
@@ -67,7 +69,10 @@ func Decode(r io.Reader, net *topology.Network) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Net: net, Scheme: scheme}
+	t := &Table{Net: net, Scheme: scheme, NumVCs: j.NumVCs}
+	if scheme == VC && t.NumVCs <= 0 {
+		return nil, fmt.Errorf("routes: VC table encoded without num_vcs")
+	}
 	t.Alts = make([][][]*Route, net.Switches)
 	for s := range t.Alts {
 		t.Alts[s] = make([][]*Route, net.Switches)
@@ -76,7 +81,7 @@ func Decode(r io.Reader, net *topology.Network) (*Table, error) {
 		if rj.Src < 0 || rj.Src >= net.Switches || rj.Dst < 0 || rj.Dst >= net.Switches {
 			return nil, fmt.Errorf("routes: route %d->%d out of range", rj.Src, rj.Dst)
 		}
-		route := &Route{SrcSwitch: rj.Src, DstSwitch: rj.Dst}
+		route := &Route{SrcSwitch: rj.Src, DstSwitch: rj.Dst, VC: rj.VC}
 		for _, sj := range rj.Segs {
 			route.Segs = append(route.Segs, Seg{Channels: sj.Channels, ITBHost: sj.ITBHost})
 			route.Hops += len(sj.Channels)
@@ -94,7 +99,7 @@ func Decode(r io.Reader, net *topology.Network) (*Table, error) {
 			}
 		}
 	}
-	if scheme == ITBRR || scheme == UpDownMin {
+	if scheme == ITBRR || scheme == UpDownMin || scheme == VC {
 		t.rr = make([][]uint32, net.NumHosts())
 		for h := range t.rr {
 			t.rr[h] = make([]uint32, net.Switches)

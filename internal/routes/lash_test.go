@@ -1,0 +1,243 @@
+package routes
+
+import (
+	"bytes"
+	"testing"
+
+	"itbsim/internal/topology"
+	"itbsim/internal/updown"
+)
+
+// vcFabrics are the topologies the VC scheme exists for: the three new
+// low-diameter fabrics plus the paper's torus as the regular-network
+// control. Sizes are kept small so the all-pairs builds stay fast.
+func vcFabrics(t *testing.T) map[string]*topology.Network {
+	t.Helper()
+	build := func(net *topology.Network, err error) *topology.Network {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	return map[string]*topology.Network{
+		"dragonfly": build(topology.NewDragonfly(9, 4, 2, 2, 16)),
+		"hyperx":    build(topology.NewHyperX([]int{3, 3}, 2, 8)),
+		"fullmesh":  build(topology.NewFullMesh(9, 2, 16)),
+		"torus":     build(topology.NewTorus(4, 4, 2, 16)),
+	}
+}
+
+func sortedFabricNames(fabrics map[string]*topology.Network) []string {
+	return []string{"dragonfly", "hyperx", "fullmesh", "torus"}
+}
+
+func buildVCTable(t *testing.T, net *topology.Network, vcs int) *Table {
+	t.Helper()
+	cfg := DefaultConfig(VC)
+	cfg.VCs = vcs
+	tab, err := Build(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestVCTableTotalAndAcyclic is the acceptance property test: for every
+// fabric and VC count, the table routes every pair, every route's layer is
+// in range, and — the Dally & Seitz deadlock-freedom condition — every
+// layer's channel dependency graph is acyclic, the escape layer included.
+func TestVCTableTotalAndAcyclic(t *testing.T) {
+	fabrics := vcFabrics(t)
+	for _, name := range sortedFabricNames(fabrics) {
+		net := fabrics[name]
+		for _, vcs := range []int{1, 2, 3} {
+			tab := buildVCTable(t, net, vcs)
+			if tab.NumVCs != vcs {
+				t.Errorf("%s VCs=%d: NumVCs = %d", name, vcs, tab.NumVCs)
+			}
+			for s := 0; s < net.Switches; s++ {
+				for d := 0; d < net.Switches; d++ {
+					alts := tab.Alternatives(s, d)
+					if len(alts) == 0 {
+						t.Fatalf("%s VCs=%d: no route %d -> %d", name, vcs, s, d)
+					}
+					for _, r := range alts {
+						if r.VC < 0 || r.VC >= vcs {
+							t.Fatalf("%s VCs=%d: route %d->%d on layer %d", name, vcs, s, d, r.VC)
+						}
+						if r.NumITBs() != 0 {
+							t.Fatalf("%s VCs=%d: route %d->%d uses %d ITBs", name, vcs, s, d, r.NumITBs())
+						}
+					}
+				}
+			}
+			for layer, g := range tab.EscapeCDGs() {
+				if !g.Acyclic() {
+					t.Errorf("%s VCs=%d: layer %d CDG has a cycle", name, vcs, layer)
+				}
+			}
+		}
+	}
+}
+
+// TestVCEscapeLayerIsLegal pins the escape-layer invariant directly: every
+// layer-0 route is an up*/down*-legal path, which is what guarantees the
+// escape layer can never deadlock regardless of which routes land on it.
+func TestVCEscapeLayerIsLegal(t *testing.T) {
+	fabrics := vcFabrics(t)
+	for _, name := range sortedFabricNames(fabrics) {
+		net := fabrics[name]
+		tab := buildVCTable(t, net, 2)
+		a, err := updown.NewAssignment(net, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < net.Switches; s++ {
+			for d := 0; d < net.Switches; d++ {
+				for _, r := range tab.Alternatives(s, d) {
+					if r.VC != 0 {
+						continue
+					}
+					if !a.LegalChannelSeq(r.Segs[0].Channels) {
+						t.Fatalf("%s: layer-0 route %d->%d is not up*/down* legal", name, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVCMoreLayersMoreMinimal checks the reason to pay for extra VCs: with
+// more layers, more pairs get raw-minimal routes instead of the balanced
+// up*/down* fallback.
+func TestVCMoreLayersMoreMinimal(t *testing.T) {
+	net, err := topology.NewDragonfly(9, 4, 2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(vcs int) float64 {
+		return buildVCTable(t, net, vcs).ComputeStats().MinimalFraction
+	}
+	f1, f2 := frac(1), frac(2)
+	if f2 < f1 {
+		t.Errorf("minimal fraction fell from %.3f to %.3f with a second layer", f1, f2)
+	}
+	if f2 < 0.9 {
+		t.Errorf("dragonfly with 2 layers routes only %.3f minimally", f2)
+	}
+}
+
+// TestVCTableDeterministic rebuilds a table and requires identical layer
+// assignment — the table is an input to the byte-identical results
+// contract, so construction must be a pure function of (net, cfg).
+func TestVCTableDeterministic(t *testing.T) {
+	net, err := topology.NewHyperX([]int{3, 3}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := buildVCTable(t, net, 3)
+	t2 := buildVCTable(t, net, 3)
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			a1, a2 := t1.Alternatives(s, d), t2.Alternatives(s, d)
+			if len(a1) != len(a2) {
+				t.Fatalf("pair %d->%d: %d vs %d alternatives", s, d, len(a1), len(a2))
+			}
+			for i := range a1 {
+				if a1[i].VC != a2[i].VC || a1[i].Hops != a2[i].Hops {
+					t.Fatalf("pair %d->%d alt %d differs across builds", s, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestVCEncodeDecodeRoundTrip checks the serialized form carries the layer
+// assignment: a decoded VC table must be usable by the simulator, which
+// sizes its per-port VC state from NumVCs.
+func TestVCEncodeDecodeRoundTrip(t *testing.T) {
+	net, err := topology.NewFullMesh(5, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildVCTable(t, net, 2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVCs != tab.NumVCs {
+		t.Fatalf("NumVCs = %d after round trip, want %d", got.NumVCs, tab.NumVCs)
+	}
+	for s := 0; s < net.Switches; s++ {
+		for d := 0; d < net.Switches; d++ {
+			a1, a2 := tab.Alternatives(s, d), got.Alternatives(s, d)
+			if len(a1) != len(a2) {
+				t.Fatalf("pair %d->%d lost alternatives", s, d)
+			}
+			for i := range a1 {
+				if a1[i].VC != a2[i].VC {
+					t.Fatalf("pair %d->%d alt %d: VC %d became %d", s, d, i, a1[i].VC, a2[i].VC)
+				}
+			}
+		}
+	}
+}
+
+// TestVCRoundRobinAdvances checks the RR cursor cycles through a pair's
+// alternatives like ITB-RR does.
+func TestVCRoundRobinAdvances(t *testing.T) {
+	net, err := topology.NewFullMesh(5, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildVCTable(t, net, 2)
+	// Find a pair with >1 alternative (full mesh has two-hop minimal
+	// alternatives only at distance 1... every pair is distance 1, so
+	// alternatives come from MaxAlternatives minimal paths: exactly one
+	// minimal path per pair in a full mesh). Use cursor behaviour on a
+	// hyperx instead if all pairs are single-alt.
+	multi := false
+	for s := 0; s < net.Switches && !multi; s++ {
+		for d := 0; d < net.Switches; d++ {
+			if len(tab.Alternatives(s, d)) > 1 {
+				multi = true
+				break
+			}
+		}
+	}
+	if !multi {
+		hx, err := topology.NewHyperX([]int{3, 3}, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab = buildVCTable(t, hx, 2)
+		net = hx
+	}
+	var src, dst int
+	found := false
+	for s := 0; s < net.Switches && !found; s++ {
+		for d := 0; d < net.Switches; d++ {
+			if len(tab.Alternatives(s, d)) > 1 {
+				src, dst, found = s, d, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no multi-alternative pair in fixture")
+	}
+	h1 := net.HostsAt(src)[0]
+	h2 := net.HostsAt(dst)[0]
+	first := tab.Route(h1, h2)
+	second := tab.Route(h1, h2)
+	if first.AltIndex == second.AltIndex {
+		t.Errorf("RR cursor did not advance: alt %d twice", first.AltIndex)
+	}
+}

@@ -40,8 +40,18 @@ const (
 	// §4.5 reports that simple_routes beats this scheme; the
 	// corresponding ablation benchmark verifies that claim.
 	UpDownMin
+	// VC is minimal routing made deadlock-free by virtual-channel layers
+	// instead of in-transit buffers: every route is assigned one virtual
+	// channel (layer) for its whole journey, LASH-style. Layer 0 is the
+	// escape layer, reserved for up*/down*-legal paths (jointly acyclic by
+	// construction); higher layers admit raw-minimal paths greedily while
+	// each layer's channel dependency graph stays acyclic; pairs with no
+	// admitted minimal path fall back to their balanced up*/down* path on
+	// layer 0. Selection over alternatives is round-robin, like ITB-RR.
+	VC
 )
 
+// String returns the scheme's display name as the paper spells it.
 func (s Scheme) String() string {
 	switch s {
 	case UpDown:
@@ -52,6 +62,8 @@ func (s Scheme) String() string {
 		return "ITB-RR"
 	case UpDownMin:
 		return "UD-MIN"
+	case VC:
+		return "VC"
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
@@ -67,8 +79,10 @@ func ParseScheme(s string) (Scheme, error) {
 		return ITBRR, nil
 	case "ud-min", "udmin", "UD-MIN":
 		return UpDownMin, nil
+	case "vc", "min-vc", "VC":
+		return VC, nil
 	}
-	return 0, fmt.Errorf("routes: unknown scheme %q (want updown, itb-sp, itb-rr, or ud-min)", s)
+	return 0, fmt.Errorf("routes: unknown scheme %q (want updown, itb-sp, itb-rr, ud-min, or vc)", s)
 }
 
 // Seg is one up*/down*-legal piece of a route. The packet traverses
@@ -88,6 +102,11 @@ type Route struct {
 	Segs                 []Seg
 	Hops                 int // total switch-to-switch links traversed
 	AltIndex             int // position among the pair's alternatives
+	// VC is the virtual-channel layer the packet travels on for its whole
+	// journey (VC-scheme tables only; 0 elsewhere). Constant-VC-per-packet
+	// is what lets the layered assignment coexist with source routing: no
+	// switch ever needs to re-route or re-lane a packet mid-network.
+	VC int
 }
 
 // NumITBs returns the number of in-transit hosts the route visits.
@@ -103,16 +122,27 @@ type Config struct {
 	MaxAlternatives int
 	// Balanced tunes the simple_routes emulation used for UP/DOWN.
 	Balanced updown.BalancedConfig
+	// VCs is the number of virtual-channel layers for the VC scheme
+	// (ignored by the other schemes; 0 means the default of 2). Layer 0 is
+	// always the up*/down* escape layer.
+	VCs int
 }
 
 // DefaultConfig returns the paper's configuration for the given scheme.
+// For the VC scheme that includes two virtual-channel layers (one escape
+// layer plus one minimal layer), the smallest configuration that routes
+// minimally on most pairs.
 func DefaultConfig(s Scheme) Config {
-	return Config{
+	cfg := Config{
 		Scheme:          s,
 		Root:            0,
 		MaxAlternatives: 10,
 		Balanced:        updown.DefaultBalancedConfig(),
 	}
+	if s == VC {
+		cfg.VCs = 2
+	}
+	return cfg
 }
 
 // Table holds every route alternative for every ordered switch pair, plus
@@ -123,6 +153,10 @@ type Table struct {
 	// Alts[src][dst] lists the route alternatives for the switch pair.
 	// UP/DOWN and ITB-SP keep exactly one.
 	Alts [][][]*Route
+	// NumVCs is the number of virtual-channel layers the routes span (0
+	// for non-VC tables). The simulator sizes its per-port VC state from
+	// it; every Route.VC is in [0, NumVCs).
+	NumVCs int
 
 	rr  [][]uint32 // rr[srcHost][dstSwitch]: round-robin cursor
 	sel Selector   // optional policy override, see SetSelector
@@ -146,7 +180,19 @@ func NewTable(net *topology.Network, scheme Scheme, alts [][][]*Route) (*Table, 
 		}
 	}
 	t := &Table{Net: net, Scheme: scheme, Alts: alts}
-	if scheme == ITBRR || scheme == UpDownMin {
+	if scheme == VC {
+		t.NumVCs = 1
+		for s := range alts {
+			for d := range alts[s] {
+				for _, r := range alts[s][d] {
+					if r.VC >= t.NumVCs {
+						t.NumVCs = r.VC + 1
+					}
+				}
+			}
+		}
+	}
+	if scheme == ITBRR || scheme == UpDownMin || scheme == VC {
 		t.rr = make([][]uint32, net.NumHosts())
 		for h := range t.rr {
 			t.rr[h] = make([]uint32, net.Switches)
@@ -232,11 +278,15 @@ func Build(net *topology.Network, cfg Config) (*Table, error) {
 				t.Alts[s][d] = alts
 			}
 		}
+	case VC:
+		if err := buildVC(net, a, cfg, t); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("routes: unknown scheme %v", cfg.Scheme)
 	}
 
-	if cfg.Scheme == ITBRR || cfg.Scheme == UpDownMin {
+	if cfg.Scheme == ITBRR || cfg.Scheme == UpDownMin || cfg.Scheme == VC {
 		t.rr = make([][]uint32, net.NumHosts())
 		for h := range t.rr {
 			t.rr[h] = make([]uint32, n)
@@ -332,7 +382,7 @@ func (t *Table) Alternatives(srcSwitch, dstSwitch int) []*Route {
 // Route advances the RR cursors; clone one per goroutine when running
 // simulations in parallel.
 func (t *Table) Clone() *Table {
-	c := &Table{Net: t.Net, Scheme: t.Scheme, Alts: t.Alts}
+	c := &Table{Net: t.Net, Scheme: t.Scheme, Alts: t.Alts, NumVCs: t.NumVCs}
 	if t.rr != nil {
 		c.rr = make([][]uint32, len(t.rr))
 		for h := range c.rr {
@@ -353,7 +403,7 @@ func (t *Table) Clone() *Table {
 // adaptive selectors still observe congestion feedback through the caller's
 // table. Contrast Clone, which also clones the Selector.
 func (t *Table) PrivateRR() *Table {
-	c := &Table{Net: t.Net, Scheme: t.Scheme, Alts: t.Alts, sel: t.sel}
+	c := &Table{Net: t.Net, Scheme: t.Scheme, Alts: t.Alts, NumVCs: t.NumVCs, sel: t.sel}
 	if t.rr != nil {
 		c.rr = make([][]uint32, len(t.rr))
 		for h := range c.rr {
@@ -460,6 +510,9 @@ func (t *Table) validateRoute(s, d int, r *Route) error {
 	}
 	if hops != r.Hops {
 		return fmt.Errorf("routes: %d->%d: Hops=%d but route has %d", s, d, r.Hops, hops)
+	}
+	if r.VC < 0 || (t.NumVCs > 0 && r.VC >= t.NumVCs) || (t.NumVCs == 0 && r.VC != 0) {
+		return fmt.Errorf("routes: %d->%d: VC %d out of range (table has %d)", s, d, r.VC, t.NumVCs)
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"itbsim/internal/routes"
+	"itbsim/internal/topology"
+)
+
+// vcSpec is the ITB-vs-VC acceptance grid: both flow-control disciplines
+// on one low-diameter fabric, with the VC tables built at an explicit lane
+// count through the RouteConfig hook.
+func vcSpec(t *testing.T) Spec {
+	t.Helper()
+	net, err := topology.NewDragonfly(4, 3, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Net:             net,
+		Schemes:         []routes.Scheme{routes.ITBRR, routes.VC},
+		Patterns:        []Pattern{{Kind: "uniform"}},
+		Loads:           []float64{0.01, 0.03},
+		MessageBytes:    128,
+		Seed:            1,
+		WarmupMessages:  50,
+		MeasureMessages: 200,
+		MaxCycles:       8_000_000,
+		Label:           "vc",
+		RouteConfig: func(s routes.Scheme) routes.Config {
+			cfg := routes.DefaultConfig(s)
+			if s == routes.VC {
+				cfg.VCs = 2
+			}
+			return cfg
+		},
+	}
+}
+
+// TestVCDeterminismAcrossParallelism extends the runner's core contract to
+// virtual-channel flow control: a mixed ITB/VC spec must produce
+// byte-identical curves at parallel=1 and parallel=8.
+func TestVCDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	seq := vcSpec(t)
+	seq.Parallel = 1
+	repSeq, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := vcSpec(t)
+	par.Parallel = 8
+	repPar, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTiming(repSeq)
+	stripTiming(repPar)
+	if len(repSeq.Curves) != 2 || len(repPar.Curves) != 2 {
+		t.Fatalf("expected 2 curves, got %d and %d", len(repSeq.Curves), len(repPar.Curves))
+	}
+	for i := range repSeq.Curves {
+		a, b := &repSeq.Curves[i], &repPar.Curves[i]
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("curve %d (%s) diverges between parallel=1 and parallel=8",
+				i, a.Job.Label)
+		}
+	}
+	// The VC curve must actually have run under VC flow control: zero ITBs
+	// on every point, while ITB-RR on a multi-group dragonfly uses some.
+	for i := range repSeq.Curves {
+		c := &repSeq.Curves[i]
+		if c.Job.Scheme != routes.VC {
+			continue
+		}
+		for _, p := range c.Curve.Points {
+			if p.Result.AvgITBsPerMessage != 0 {
+				t.Errorf("VC point at load %.3f reports %.2f ITBs/message",
+					p.Load, p.Result.AvgITBsPerMessage)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package topology
+
+import "fmt"
+
+// DragonflyID returns the switch ID of router r inside group g of a
+// dragonfly with routersPerGroup routers per group. Switches are numbered
+// group-major: all of group 0's routers first, then group 1's, and so on.
+func DragonflyID(g, r, routersPerGroup int) int { return g*routersPerGroup + r }
+
+// NewDragonfly builds a dragonfly network (Kim et al., ISCA 2008) of
+// groups×routersPerGroup switches: the routers of each group form a full
+// mesh over local links, and every router additionally owns
+// globalsPerRouter global ports used to connect group pairs directly. Each
+// unordered group pair is joined by exactly one global link, assigned to
+// the next free global port of each group in deterministic (group pair)
+// order, so the construction is a function of the parameters alone.
+//
+// The canonical balanced dragonfly has groups = routersPerGroup ×
+// globalsPerRouter + 1, which consumes every global port; fewer groups are
+// accepted (surplus global ports stay free), more are rejected with a
+// *ConfigError because some group pair could not be linked. hostsPerSwitch
+// hosts attach to every router.
+//
+// Diameter is at most 3 switch-to-switch hops (local, global, local),
+// which is what makes the fabric interesting as a low-diameter counterpoint
+// to the paper's torus: minimal paths are short but the global links create
+// cyclic channel dependencies that up*/down* alone restricts severely.
+func NewDragonfly(groups, routersPerGroup, globalsPerRouter, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if groups < 2 {
+		return nil, &ConfigError{Field: "groups", Value: groups,
+			Reason: "dragonfly needs at least 2 groups"}
+	}
+	if routersPerGroup < 1 {
+		return nil, &ConfigError{Field: "routersPerGroup", Value: routersPerGroup,
+			Reason: "dragonfly needs at least 1 router per group"}
+	}
+	if globalsPerRouter < 1 {
+		return nil, &ConfigError{Field: "globalsPerRouter", Value: globalsPerRouter,
+			Reason: "dragonfly needs at least 1 global port per router"}
+	}
+	if routersPerGroup*globalsPerRouter < groups-1 {
+		return nil, &ConfigError{
+			Field: "groups",
+			Value: groups,
+			Reason: fmt.Sprintf("a group has %d global ports (%d routers x %d), too few to reach the other %d groups",
+				routersPerGroup*globalsPerRouter, routersPerGroup, globalsPerRouter, groups-1),
+		}
+	}
+	need := (routersPerGroup - 1) + globalsPerRouter + hostsPerSwitch
+	if need > switchPorts {
+		return nil, &ConfigError{
+			Field: "switchPorts",
+			Value: switchPorts,
+			Reason: fmt.Sprintf("a router needs %d ports (%d local + %d global + %d hosts)",
+				need, routersPerGroup-1, globalsPerRouter, hostsPerSwitch),
+		}
+	}
+
+	name := fmt.Sprintf("dragonfly-g%da%dh%d", groups, routersPerGroup, globalsPerRouter)
+	b := NewBuilder(name, groups*routersPerGroup, switchPorts)
+	// Intra-group full mesh, lower-ID side adds the link.
+	for g := 0; g < groups; g++ {
+		for r := 0; r < routersPerGroup; r++ {
+			for r2 := r + 1; r2 < routersPerGroup; r2++ {
+				b.AddLink(DragonflyID(g, r, routersPerGroup), DragonflyID(g, r2, routersPerGroup))
+			}
+		}
+	}
+	// One global link per unordered group pair. nextGlobal[g] counts the
+	// global ports group g has consumed; global port k belongs to router
+	// k/globalsPerRouter, spreading the pair links across the group's
+	// routers in order.
+	nextGlobal := make([]int, groups)
+	for gi := 0; gi < groups; gi++ {
+		for gj := gi + 1; gj < groups; gj++ {
+			ri := nextGlobal[gi] / globalsPerRouter
+			rj := nextGlobal[gj] / globalsPerRouter
+			b.AddLink(DragonflyID(gi, ri, routersPerGroup), DragonflyID(gj, rj, routersPerGroup))
+			nextGlobal[gi]++
+			nextGlobal[gj]++
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}

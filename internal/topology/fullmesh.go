@@ -1,0 +1,36 @@
+package topology
+
+import "fmt"
+
+// NewFullMesh builds a network of switches in which every pair of switches
+// is joined by a direct link, with hostsPerSwitch hosts attached to every
+// switch. It is the diameter-1 extreme of the low-diameter fabrics: every
+// minimal switch path is a single hop, yet non-minimal (two-hop) paths and
+// the up*/down* restriction still interact, which makes it the smallest
+// interesting testbed for VC-based deadlock avoidance versus ITBs.
+//
+// Validation is via *ConfigError: at least 2 switches, and a port budget of
+// switches-1 links plus hostsPerSwitch hosts per switch.
+func NewFullMesh(switches, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if switches < 2 {
+		return nil, &ConfigError{Field: "switches", Value: switches,
+			Reason: "full mesh needs at least 2 switches"}
+	}
+	need := (switches - 1) + hostsPerSwitch
+	if need > switchPorts {
+		return nil, &ConfigError{
+			Field: "switchPorts",
+			Value: switchPorts,
+			Reason: fmt.Sprintf("a switch needs %d ports (%d mesh links + %d hosts)",
+				need, switches-1, hostsPerSwitch),
+		}
+	}
+	b := NewBuilder(fmt.Sprintf("fullmesh-%d", switches), switches, switchPorts)
+	for i := 0; i < switches; i++ {
+		for j := i + 1; j < switches; j++ {
+			b.AddLink(i, j)
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}

@@ -1,0 +1,72 @@
+package topology
+
+import "fmt"
+
+// NewHyperX builds a HyperX network (Ahn et al., SC 2009): switches form a
+// multidimensional lattice with extents dims, and along every dimension the
+// switches that agree on all other coordinates form a full mesh (a direct
+// link to each of the dims[k]-1 peers). A 1-dimensional HyperX is a full
+// mesh; a 2-D HyperX with extents [n, n] is the flattened butterfly.
+// Switches are numbered row-major with dims[0] the most significant
+// coordinate. hostsPerSwitch hosts attach to every switch.
+//
+// Validation is via *ConfigError: at least one dimension, every extent at
+// least 2, and a port budget of sum(dims[k]-1) links plus hostsPerSwitch
+// hosts per switch.
+func NewHyperX(dims []int, hostsPerSwitch, switchPorts int) (*Network, error) {
+	if len(dims) == 0 {
+		return nil, &ConfigError{Field: "dims", Value: dims,
+			Reason: "hyperx needs at least one dimension"}
+	}
+	switches, degree := 1, 0
+	for _, d := range dims {
+		if d < 2 {
+			return nil, &ConfigError{Field: "dims", Value: fmt.Sprintf("%v", dims),
+				Reason: "every hyperx dimension needs extent at least 2"}
+		}
+		switches *= d
+		degree += d - 1
+	}
+	if degree+hostsPerSwitch > switchPorts {
+		return nil, &ConfigError{
+			Field: "switchPorts",
+			Value: switchPorts,
+			Reason: fmt.Sprintf("a switch needs %d ports (%d mesh links + %d hosts)",
+				degree+hostsPerSwitch, degree, hostsPerSwitch),
+		}
+	}
+
+	name := "hyperx"
+	for i, d := range dims {
+		if i == 0 {
+			name += fmt.Sprintf("-%d", d)
+		} else {
+			name += fmt.Sprintf("x%d", d)
+		}
+	}
+	b := NewBuilder(name, switches, switchPorts)
+	// stride[k] is the ID distance between switches that differ by one in
+	// coordinate k (row-major, dims[0] most significant).
+	stride := make([]int, len(dims))
+	stride[len(dims)-1] = 1
+	for k := len(dims) - 2; k >= 0; k-- {
+		stride[k] = stride[k+1] * dims[k+1]
+	}
+	coord := make([]int, len(dims))
+	for s := 0; s < switches; s++ {
+		id := s
+		for k := range dims {
+			coord[k] = id / stride[k]
+			id %= stride[k]
+		}
+		// Full mesh along each dimension; the lower-coordinate side adds
+		// the link so each pair is created once.
+		for k := range dims {
+			for v := coord[k] + 1; v < dims[k]; v++ {
+				b.AddLink(s, s+(v-coord[k])*stride[k])
+			}
+		}
+	}
+	b.AddHosts(hostsPerSwitch)
+	return b.Build()
+}

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+// diameter returns the maximum switch-to-switch hop distance.
+func diameter(t *testing.T, net *Network) int {
+	t.Helper()
+	max := 0
+	for s := 0; s < net.Switches; s++ {
+		for _, d := range net.Distances(s) {
+			if d < 0 {
+				t.Fatalf("disconnected from switch %d", s)
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func TestDragonflyCanonical(t *testing.T) {
+	// Balanced dragonfly a=4, h=2, g = a*h+1 = 9: 36 switches, every
+	// global port in use.
+	net, err := NewDragonfly(9, 4, 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches != 36 {
+		t.Fatalf("switches = %d, want 36", net.Switches)
+	}
+	// 9 groups x C(4,2)=6 local links + C(9,2)=36 global pair links.
+	if want := 9*6 + 36; len(net.Links) != want {
+		t.Fatalf("links = %d, want %d", len(net.Links), want)
+	}
+	if net.NumHosts() != 36*8 {
+		t.Fatalf("hosts = %d, want %d", net.NumHosts(), 36*8)
+	}
+	// Every router: 3 local + 2 global links, 8 hosts, 3 ports free.
+	for s := 0; s < net.Switches; s++ {
+		links, hosts, free := net.PortFanout(s)
+		if links != 5 || hosts != 8 || free != 3 {
+			t.Fatalf("switch %d fanout = %d links, %d hosts, %d free", s, links, hosts, free)
+		}
+	}
+	if d := diameter(t, net); d > 3 {
+		t.Errorf("dragonfly diameter = %d, want <= 3", d)
+	}
+}
+
+func TestDragonflySparseGlobals(t *testing.T) {
+	// Fewer groups than global ports: surplus global ports stay free.
+	net, err := NewDragonfly(4, 3, 1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches != 12 {
+		t.Fatalf("switches = %d, want 12", net.Switches)
+	}
+	// 4 groups x C(3,2)=3 local + C(4,2)=6 global.
+	if want := 4*3 + 6; len(net.Links) != want {
+		t.Fatalf("links = %d, want %d", len(net.Links), want)
+	}
+	if d := diameter(t, net); d > 3 {
+		t.Errorf("diameter = %d, want <= 3", d)
+	}
+}
+
+func TestDragonflyErrors(t *testing.T) {
+	cases := []struct{ g, a, h, hosts, ports int }{
+		{1, 4, 2, 8, 16},  // too few groups
+		{9, 0, 2, 8, 16},  // no routers
+		{9, 4, 0, 8, 16},  // no global ports
+		{12, 4, 2, 8, 16}, // 8 global ports cannot reach 11 groups
+		{9, 4, 2, 8, 12},  // port budget: 3+2+8 = 13 > 12
+	}
+	for _, c := range cases {
+		_, err := NewDragonfly(c.g, c.a, c.h, c.hosts, c.ports)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("NewDragonfly(%v) error = %v, want *ConfigError", c, err)
+		}
+	}
+}
+
+func TestHyperXSquare(t *testing.T) {
+	// 5x5 HyperX: 25 switches, degree 8, diameter 2, all 16 ports used.
+	net, err := NewHyperX([]int{5, 5}, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches != 25 {
+		t.Fatalf("switches = %d, want 25", net.Switches)
+	}
+	if want := 25 * 8 / 2; len(net.Links) != want {
+		t.Fatalf("links = %d, want %d", len(net.Links), want)
+	}
+	for s := 0; s < net.Switches; s++ {
+		links, hosts, free := net.PortFanout(s)
+		if links != 8 || hosts != 8 || free != 0 {
+			t.Fatalf("switch %d fanout = %d links, %d hosts, %d free", s, links, hosts, free)
+		}
+	}
+	if d := diameter(t, net); d != 2 {
+		t.Errorf("5x5 hyperx diameter = %d, want 2", d)
+	}
+}
+
+func TestHyperXOneDimensionIsFullMesh(t *testing.T) {
+	hx, err := NewHyperX([]int{6}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := NewFullMesh(6, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hx.Links) != len(fm.Links) || hx.Switches != fm.Switches {
+		t.Errorf("1-D hyperx (%d sw, %d links) != full mesh (%d sw, %d links)",
+			hx.Switches, len(hx.Links), fm.Switches, len(fm.Links))
+	}
+}
+
+func TestHyperXThreeDimensions(t *testing.T) {
+	net, err := NewHyperX([]int{2, 3, 4}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches != 24 {
+		t.Fatalf("switches = %d, want 24", net.Switches)
+	}
+	// degree = 1+2+3 = 6 per switch.
+	if want := 24 * 6 / 2; len(net.Links) != want {
+		t.Fatalf("links = %d, want %d", len(net.Links), want)
+	}
+	if d := diameter(t, net); d != 3 {
+		t.Errorf("2x3x4 hyperx diameter = %d, want 3", d)
+	}
+}
+
+func TestHyperXErrors(t *testing.T) {
+	cases := [][]int{nil, {}, {1, 5}, {5, 0}}
+	for _, dims := range cases {
+		_, err := NewHyperX(dims, 2, 16)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("NewHyperX(%v) error = %v, want *ConfigError", dims, err)
+		}
+	}
+	// Port budget: 4+4 mesh links + 9 hosts > 16.
+	_, err := NewHyperX([]int{5, 5}, 9, 16)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Errorf("over-budget hyperx error = %v, want *ConfigError", err)
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	net, err := NewFullMesh(9, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches != 9 || len(net.Links) != 36 || net.NumHosts() != 72 {
+		t.Fatalf("full mesh = %d switches, %d links, %d hosts", net.Switches, len(net.Links), net.NumHosts())
+	}
+	if d := diameter(t, net); d != 1 {
+		t.Errorf("full mesh diameter = %d, want 1", d)
+	}
+}
+
+func TestFullMeshErrors(t *testing.T) {
+	for _, c := range []struct{ sw, hosts, ports int }{
+		{1, 2, 16}, // too few switches
+		{9, 9, 16}, // 8 links + 9 hosts > 16 ports
+	} {
+		_, err := NewFullMesh(c.sw, c.hosts, c.ports)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("NewFullMesh(%v) error = %v, want *ConfigError", c, err)
+		}
+	}
+}

@@ -368,6 +368,7 @@ func (n *Network) PortFanout(s int) (links, hosts, free int) {
 	return
 }
 
+// String summarises the network's name and size in one line.
 func (n *Network) String() string {
 	return fmt.Sprintf("%s: %d switches, %d hosts, %d links", n.Name, n.Switches, n.NumHosts(), len(n.Links))
 }

@@ -52,6 +52,65 @@ func (g *DependencyGraph) AddRoute(channels []int) {
 	}
 }
 
+// TryAddRoute adds the pairwise dependencies of a channel sequence only if
+// the graph stays acyclic, reporting whether it did. On failure the graph is
+// left exactly as it was. This is the admission test of layered (LASH-style)
+// route assignment: a path joins a virtual-channel layer only when its
+// dependencies keep that layer's CDG cycle-free.
+//
+// The check is incremental: a new edge u -> v creates a cycle iff u is
+// already reachable from v, so each genuinely new edge costs one DFS over
+// the current graph instead of a full-graph recheck.
+func (g *DependencyGraph) TryAddRoute(channels []int) bool {
+	type edge struct{ u, v int }
+	var added []edge
+	rollback := func() {
+		for _, e := range added {
+			delete(g.adj[e.u], e.v)
+		}
+	}
+	for i := 0; i+1 < len(channels); i++ {
+		u, v := channels[i], channels[i+1]
+		if _, ok := g.adj[u][v]; ok {
+			continue
+		}
+		if u == v || g.reaches(v, u) {
+			rollback()
+			return false
+		}
+		g.adj[u][v] = struct{}{}
+		added = append(added, edge{u, v})
+	}
+	return true
+}
+
+// reaches reports whether dst is reachable from src over current edges.
+func (g *DependencyGraph) reaches(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.n)
+	seen[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// The verdict (reachable or not) is independent of visit order,
+		// so ranging the adjacency map directly is safe here.
+		//lint:ignore detrange reachability verdict is order-independent
+		for d := range g.adj[c] {
+			if d == dst {
+				return true
+			}
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}
+
 // Acyclic reports whether the dependency graph has no cycles. An acyclic
 // CDG is the classic sufficient condition for deadlock freedom of wormhole
 // or cut-through routing (Dally & Seitz).

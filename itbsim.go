@@ -63,6 +63,11 @@ const (
 	// in-transit buffers — the alternative baseline §4.5 reports
 	// simple_routes outperforms.
 	UpDownMin = routes.UpDownMin
+	// VC is minimal routing over virtual-channel flow control with a LASH
+	// layer assignment: each route is pinned to one lane, lane 0 kept
+	// deadlock-free as the escape layer. An alternative to ITBs that needs
+	// no intermediate-host ejection; see docs/VC.md.
+	VC = routes.VC
 )
 
 // RoutingTable maps host pairs to source routes under a scheme.
@@ -163,6 +168,24 @@ func NewTorus3D(x, y, z, hostsPerSwitch int) (*Network, error) {
 // NewFatTree builds a k-ary n-tree with k hosts per leaf switch.
 func NewFatTree(k, n int) (*Network, error) {
 	return topology.NewFatTree(k, n, 16)
+}
+
+// NewDragonfly builds a dragonfly: groups of aPerGroup fully-meshed
+// routers, hPerRouter global links per router spreading over the other
+// groups. A palmtree global arrangement keeps the fabric regular.
+func NewDragonfly(groups, aPerGroup, hPerRouter, hostsPerSwitch int) (*Network, error) {
+	return topology.NewDragonfly(groups, aPerGroup, hPerRouter, hostsPerSwitch, 16)
+}
+
+// NewHyperX builds a HyperX: switches on a multidimensional lattice, fully
+// connected along every axis-aligned line.
+func NewHyperX(dims []int, hostsPerSwitch int) (*Network, error) {
+	return topology.NewHyperX(dims, hostsPerSwitch, 16)
+}
+
+// NewFullMesh builds a full mesh: every switch pair directly linked.
+func NewFullMesh(switches, hostsPerSwitch int) (*Network, error) {
+	return topology.NewFullMesh(switches, hostsPerSwitch, 16)
 }
 
 // NewCustom builds a network from an explicit switch-to-switch edge list

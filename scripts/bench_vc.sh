@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench_vc.sh — runs the ITB-vs-VC smoke benchmarks on the small
+# dragonfly fabric (4 groups x 3 routers, 12 switches, 24 hosts) and
+# records both wall-clocks in BENCH_7.json. The two runs simulate the
+# same offered load with the two deadlock-avoidance mechanisms the
+# simulator supports: in-transit buffers (ITB-RR, the paper's mechanism)
+# and virtual-channel flow control (two lanes, LASH layer assignment;
+# see docs/VC.md).
+#
+# This is a cost measurement, not a latency comparison — the VC switch
+# pipeline tracks per-lane buffers and credits, so each simulated cycle
+# is heavier than the ITB path. The recorded ratio is the per-point
+# simulation-cost overhead of enabling VC mode; the acceptance bar is
+# that it stays around 2x or better. The whole script finishes in well
+# under a minute.
+#
+# Usage: scripts/bench_vc.sh [count]   (runs per benchmark, default 3)
+set -e
+cd "$(dirname "$0")/.."
+count=${1:-3}
+ncpu=$(getconf _NPROCESSORS_ONLN)
+
+out=$(go test ./internal/netsim/ -run '^$' \
+	-bench 'DragonflyPoint' -benchtime 3x -count "$count" -timeout 10m)
+echo "$out"
+
+echo "$out" | awk -v benchcount="$count" -v ncpu="$ncpu" '
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sum[name] += $3
+	n[name]++
+}
+END {
+	itb = sum["BenchmarkITBDragonflyPoint"] / n["BenchmarkITBDragonflyPoint"]
+	vc = sum["BenchmarkVCDragonflyPoint"] / n["BenchmarkVCDragonflyPoint"]
+	printf "{\n"
+	printf "  \"bench\": \"ITB-RR vs VC flow control (2 lanes, LASH), small dragonfly (12 switches, 24 hosts), 512B, load 0.05\",\n"
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"cpus\": %d,\n", ncpu
+	printf "  \"benchtime\": \"3x\",\n"
+	printf "  \"count\": %d,\n", benchcount
+	printf "  \"itb_ns_per_op\": %.0f,\n", itb
+	printf "  \"vc_ns_per_op\": %.0f,\n", vc
+	printf "  \"vc_over_itb\": %.2f,\n", vc / itb
+	printf "  \"note\": \"vc_over_itb is the simulation-cost overhead of the VC switch pipeline (per-lane buffers + credit bookkeeping) relative to the ITB path on the same fabric and load; acceptance bar is around 2x or better.\"\n"
+	printf "}\n"
+}' > BENCH_7.json
+
+cat BENCH_7.json
