@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test lint docs race race-determinism faults bench bench-lowload bench-shards bench-vc profile clean
+.PHONY: all build vet test lint docs race race-determinism faults checkpoint bench bench-lowload bench-shards bench-vc profile clean
 
 all: build vet test lint
 
@@ -50,6 +50,16 @@ race-determinism:
 faults:
 	$(GO) test -race -count=1 -run 'Fault|Fail|Degraded|StallDump' ./internal/netsim/ ./internal/faults/
 	$(GO) test -race -count=1 -run 'FaultedDeterminism|SingleLinkFailureRecovery' ./internal/runner/
+
+# The checkpoint/resume acceptance suite under the race detector: the
+# resume-equivalence matrix (every mechanism x faults byte-identical after
+# a mid-run snapshot+restore), the journal round-trip, the in-process
+# mid-job interrupt, and the end-to-end SIGKILL-and-resume test that
+# kills a child sweep and requires the resumed report to match an
+# uninterrupted run's JSON exactly. See docs/CHECKPOINT.md.
+checkpoint:
+	$(GO) test -race -count=1 -run 'Checkpoint|Snapshot|ResumeEquivalence' ./internal/netsim/
+	$(GO) test -race -count=1 -run 'KillAndResume|ResumeMidJob|SweepJournalRoundTrip|PanicContained' ./internal/runner/
 
 # Figure-7 suite wall-clock, sequential vs parallel=NumCPU.
 bench:

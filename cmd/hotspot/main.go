@@ -6,7 +6,9 @@
 // The locations × schemes sweeps run as independent jobs on the
 // experiment runner, sharing one routing-table build per scheme:
 // -parallel N spreads them over N workers, -progress streams per-point
-// progress to stderr, and -json emits the table as JSON.
+// progress to stderr, and -json emits the table as JSON. -checkpoint-dir
+// journals the location × scheme jobs so a killed battery can be picked
+// back up with -resume (see docs/CHECKPOINT.md).
 //
 // Examples:
 //
@@ -14,6 +16,7 @@
 //	hotspot -topo torus   -frac 0.10 -locations 10   # table 1, right half
 //	hotspot -topo express -frac 0.03                 # table 2
 //	hotspot -topo cplant  -frac 0.05 -parallel 8     # table 3, 8 workers
+//	hotspot -topo torus -frac 0.05 -checkpoint-dir ckpt -resume
 package main
 
 import (

@@ -4,12 +4,15 @@
 // jobs on the experiment runner (-parallel N workers), and -json replaces
 // the text output with the full report as JSON. -metrics <file> collects
 // windowed per-link/switch/host telemetry and writes it in the schema of
-// docs/METRICS.md (.csv for CSV, anything else JSON).
+// docs/METRICS.md (.csv for CSV, anything else JSON). -checkpoint-dir
+// journals the jobs and snapshots in-flight simulations so a killed run
+// can be picked up with -resume (see docs/CHECKPOINT.md).
 //
 // Examples:
 //
 //	itbsim -topo torus -scale medium -scheme itb-rr -traffic uniform -load 0.02
 //	itbsim -topo torus -scheme updown,itb-sp,itb-rr -load 0.02 -parallel 3
+//	itbsim -scale paper -scheme itb-rr -load 0.02 -checkpoint-dir ckpt
 package main
 
 import (

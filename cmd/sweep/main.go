@@ -10,7 +10,11 @@
 // the full report (curves, per-job timing, wall clock) as JSON.
 // -metrics <file> additionally collects windowed per-link/switch/host
 // telemetry on every point and writes it in the schema of docs/METRICS.md
-// (.csv for CSV, anything else JSON).
+// (.csv for CSV, anything else JSON). -checkpoint-dir makes the sweep
+// crash-safe — finished jobs are journaled and in-flight simulations
+// snapshot periodically — and -resume picks a killed sweep back up from
+// that directory, reproducing the uninterrupted report exactly (see
+// docs/CHECKPOINT.md).
 //
 // Examples:
 //
@@ -22,6 +26,8 @@
 //	sweep -topo torus -parallel 3 -json             # figure 7a, JSON report
 //	sweep -topo dragonfly -schemes itb-rr,vc        # ITB vs VC flow control
 //	sweep -topo torus -schemes itb-rr,vc -vcs 3     # same on the torus, 3 lanes
+//	sweep -scale paper -checkpoint-dir ckpt         # crash-safe long sweep
+//	sweep -scale paper -checkpoint-dir ckpt -resume # pick it back up after a kill
 package main
 
 import (

@@ -149,6 +149,11 @@ type Run struct {
 	Progress *bool
 	Metrics  *string
 	Faults   *string
+	// CheckpointDir, CheckpointEvery and Resume are the crash-safe sweep
+	// journal flags (see docs/CHECKPOINT.md).
+	CheckpointDir   *string
+	CheckpointEvery *int64
+	Resume          *bool
 }
 
 // AddRun registers the runner flags on a FlagSet.
@@ -161,6 +166,12 @@ func AddRun(fs *flag.FlagSet) *Run {
 			"collect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)"),
 		Faults: fs.String("faults", "",
 			"inject faults mid-run: comma-separated link:ID@CYCLE / switch:ID@CYCLE events, + prefix repairs (see docs/FAULTS.md)"),
+		CheckpointDir: fs.String("checkpoint-dir", "",
+			"journal finished jobs and periodic mid-run snapshots to this directory, making the sweep crash-safe (see docs/CHECKPOINT.md)"),
+		CheckpointEvery: fs.Int64("checkpoint-every", 0,
+			"mid-run snapshot period in simulated cycles (0 = 250000); requires -checkpoint-dir"),
+		Resume: fs.Bool("resume", false,
+			"resume a killed sweep from -checkpoint-dir: journaled jobs are reused, in-flight jobs restart from their snapshots"),
 	}
 }
 
@@ -215,6 +226,12 @@ func (cf *CommonFlags) RejectRunnerFlags(tool string, keepMetrics bool) error {
 		return fmt.Errorf("%s does not run on the experiment runner; -progress is not supported", tool)
 	case *cf.Faults != "":
 		return fmt.Errorf("%s does not support fault injection; -faults is not supported", tool)
+	case *cf.CheckpointDir != "":
+		return fmt.Errorf("%s does not run on the experiment runner; -checkpoint-dir is not supported", tool)
+	case *cf.CheckpointEvery != 0:
+		return fmt.Errorf("%s does not run on the experiment runner; -checkpoint-every is not supported", tool)
+	case *cf.Resume:
+		return fmt.Errorf("%s does not run on the experiment runner; -resume is not supported", tool)
 	case !keepMetrics && *cf.Run.Metrics != "":
 		return fmt.Errorf("%s collects no windowed telemetry; -metrics is not supported", tool)
 	}
@@ -223,9 +240,15 @@ func (cf *CommonFlags) RejectRunnerFlags(tool string, keepMetrics bool) error {
 
 // Options assembles the harness run options from the flags. Setting
 // -metrics turns the observability collector on for every point; -faults
-// schedules failures on every point and enables online reconfiguration.
+// schedules failures on every point and enables online reconfiguration;
+// -checkpoint-dir/-checkpoint-every/-resume drive the crash-safe journal.
 func (r *Run) Options() (experiments.RunOptions, error) {
-	opt := experiments.RunOptions{Parallel: *r.Parallel}
+	opt := experiments.RunOptions{
+		Parallel:        *r.Parallel,
+		CheckpointDir:   *r.CheckpointDir,
+		CheckpointEvery: *r.CheckpointEvery,
+		Resume:          *r.Resume,
+	}
 	if *r.Progress {
 		opt.Reporter = runner.NewLogReporter(os.Stderr)
 	}

@@ -2,9 +2,15 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
+	"strings"
 	"testing"
+
+	"itbsim/internal/experiments"
+	"itbsim/internal/runner"
+	"itbsim/internal/topology"
 )
 
 func parse(t *testing.T, args ...string) *Common {
@@ -118,6 +124,10 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 // insensitive to registration order.
 const commonHelp = "  -bytes int\n" +
 	"    \tmessage payload size in bytes (default 512)\n" +
+	"  -checkpoint-dir string\n" +
+	"    \tjournal finished jobs and periodic mid-run snapshots to this directory, making the sweep crash-safe (see docs/CHECKPOINT.md)\n" +
+	"  -checkpoint-every int\n" +
+	"    \tmid-run snapshot period in simulated cycles (0 = 250000); requires -checkpoint-dir\n" +
 	"  -cpuprofile string\n" +
 	"    \twrite a CPU profile to this file\n" +
 	"  -faults string\n" +
@@ -138,6 +148,8 @@ const commonHelp = "  -bytes int\n" +
 	"    \tstream per-job progress to stderr\n" +
 	"  -radius int\n" +
 	"    \tlocal traffic: max switches to destination (default 3)\n" +
+	"  -resume\n" +
+	"    \tresume a killed sweep from -checkpoint-dir: journaled jobs are reused, in-flight jobs restart from their snapshots\n" +
 	"  -scale string\n" +
 	"    \tscale: small, medium, or paper (512 hosts) (default \"medium\")\n" +
 	"  -seed int\n" +
@@ -177,6 +189,22 @@ func TestCommonFlagsOptionsThreadShards(t *testing.T) {
 	}
 }
 
+func TestCommonFlagsOptionsThreadCheckpointing(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	cf := AddCommonFlags(fs)
+	if err := fs.Parse([]string{"-checkpoint-dir", "ckpt", "-checkpoint-every", "5000", "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cf.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CheckpointDir != "ckpt" || opt.CheckpointEvery != 5000 || !opt.Resume {
+		t.Errorf("Options() = dir %q every %d resume %v, want ckpt/5000/true",
+			opt.CheckpointDir, opt.CheckpointEvery, opt.Resume)
+	}
+}
+
 func TestRejectRunnerFlags(t *testing.T) {
 	reject := func(t *testing.T, keepMetrics bool, args ...string) error {
 		t.Helper()
@@ -196,10 +224,53 @@ func TestRejectRunnerFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-parallel", "4"}, {"-json"}, {"-progress"},
 		{"-faults", "link:1@100"}, {"-metrics", "out.json"},
+		{"-checkpoint-dir", "ckpt"}, {"-checkpoint-every", "1000"}, {"-resume"},
 	} {
 		if err := reject(t, false, args...); err == nil {
 			t.Errorf("%v accepted on a direct-run tool", args)
 		}
+	}
+}
+
+// TestVCWithFaultsMessage pins the error a user sees when asking a tool
+// for the VC scheme and fault injection together (e.g. `sweep -schemes
+// itb-rr,vc -faults link:1@100`): a typed ConfigError naming the offending
+// field, surfaced before any simulation starts.
+func TestVCWithFaultsMessage(t *testing.T) {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	cf := AddCommonFlags(fs)
+	if err := fs.Parse([]string{"-scale", "small", "-faults", "link:1@100"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := cf.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := cf.Pattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cf.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes, err := Schemes("itb-rr,vc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := experiments.SpecFor(env, schemes, []experiments.Pattern{pat},
+		[]float64{0.01}, *cf.Bytes, *cf.Seed, opt)
+	_, err = runner.Run(spec)
+	if err == nil {
+		t.Fatal("VC scheme with -faults accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "invalid Schemes VC") || !strings.Contains(msg, "Faults") {
+		t.Errorf("user-facing message does not name the offending field and the fault plan: %q", msg)
+	}
+	var ce *topology.ConfigError
+	if !errors.As(err, &ce) {
+		t.Errorf("CLI-surfaced error is %T, want *topology.ConfigError", err)
 	}
 }
 

@@ -191,6 +191,13 @@ type RunOptions struct {
 	// scheme's tables (0 keeps the scheme default of 2). Other schemes
 	// ignore it.
 	VCs int
+	// CheckpointDir enables the crash-safe sweep journal in that
+	// directory (see docs/CHECKPOINT.md); CheckpointEvery is the
+	// in-flight snapshot period in cycles (0 = the runner default); and
+	// Resume picks a killed sweep back up from the directory's journal.
+	CheckpointDir   string
+	CheckpointEvery int64
+	Resume          bool
 }
 
 // routeConfigFor maps a scheme to its table-construction config, applying
@@ -227,6 +234,9 @@ func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, m
 		Metrics:         opt.Metrics,
 		Faults:          opt.Faults,
 		Shards:          opt.Shards,
+		CheckpointDir:   opt.CheckpointDir,
+		CheckpointEvery: opt.CheckpointEvery,
+		Resume:          opt.Resume,
 		RouteConfig: func(s routes.Scheme) routes.Config {
 			return routeConfigFor(s, opt.VCs)
 		},

@@ -14,7 +14,6 @@ package gm
 
 import (
 	"fmt"
-	"math/rand"
 
 	"itbsim/internal/netsim"
 	"itbsim/internal/routes"
@@ -91,7 +90,7 @@ func New(cfg Config) (*Layer, error) {
 	sim, err := netsim.New(netsim.Config{
 		Net:   cfg.Net,
 		Table: cfg.Table,
-		Dest: func(src int, _ *rand.Rand) int {
+		Dest: func(src int, _ *netsim.RNG) int {
 			panic("gm: internal generation must stay disabled")
 		},
 		Load:            0, // all traffic comes from Send

@@ -1,0 +1,360 @@
+package netsim
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"itbsim/internal/routes"
+)
+
+// runCheckpointed runs cfg to completion while capturing a snapshot every
+// `every` cycles, returning the result and the captured snapshots in order.
+func runCheckpointed(t *testing.T, cfg Config, every int64) (*Result, [][]byte) {
+	t.Helper()
+	var snaps [][]byte
+	cfg.CheckpointEvery = every
+	cfg.CheckpointSink = func(cycle int64, snapshot []byte) error {
+		snaps = append(snaps, snapshot)
+		return nil
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatalf("run finished without producing a snapshot (CheckpointEvery=%d)", every)
+	}
+	return res, snaps
+}
+
+// resultBytes renders a Result for byte-level comparison: the JSON covers
+// every exported field, including the full metrics export.
+func resultBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// expectResume restores snap under cfg, runs to completion, and requires the
+// result to match want exactly — structurally and byte-for-byte.
+func expectResume(t *testing.T, cfg Config, snap []byte, want *Result, label string) {
+	t.Helper()
+	got, err := ResumeContext(context.Background(), cfg, snap)
+	if err != nil {
+		t.Fatalf("%s: resume: %v", label, err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: resumed result diverges from the uninterrupted run:\nwant: %+v\ngot:  %+v", label, want, got)
+		return
+	}
+	if wb, gb := resultBytes(t, want), resultBytes(t, got); string(wb) != string(gb) {
+		t.Errorf("%s: resumed result serializes differently", label)
+	}
+}
+
+// checkpointMechanisms names the execution-mechanism variants the
+// equivalence matrix covers; apply mutates a config into that mechanism.
+var checkpointMechanisms = []struct {
+	name  string
+	apply func(*Config)
+}{
+	{"dense", func(c *Config) { c.DenseStep = true }},
+	{"active-set", func(c *Config) { c.Shards = 1 }},
+	{"sharded", func(c *Config) { c.Shards = 3 }},
+}
+
+// TestResumeEquivalence is the checkpoint codec's golden check: for every
+// execution mechanism, routing scheme, and fault mode, a run snapshotted at
+// an arbitrary mid-run cycle and resumed from that snapshot must produce a
+// Result byte-identical to the uninterrupted run — and the snapshotting run
+// itself must be unperturbed by taking checkpoints.
+func TestResumeEquivalence(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	for _, mech := range checkpointMechanisms {
+		for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBRR} {
+			for _, faulted := range []bool{false, true} {
+				name := mech.name + "/" + sch.String()
+				if faulted {
+					name += "/faulted"
+				}
+				t.Run(name, func(t *testing.T) {
+					base := shardConfig(t, net, sch, faulted)
+					mech.apply(&base)
+					want, err := Run(base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ckpt := shardConfig(t, net, sch, faulted)
+					mech.apply(&ckpt)
+					res, snaps := runCheckpointed(t, ckpt, 10_000)
+					if !reflect.DeepEqual(want, res) {
+						t.Fatal("taking checkpoints perturbed the run")
+					}
+					resume := shardConfig(t, net, sch, faulted)
+					mech.apply(&resume)
+					expectResume(t, resume, snaps[len(snaps)/2], want, "mid-run snapshot")
+				})
+			}
+		}
+	}
+}
+
+// TestResumeEquivalenceVC covers the virtual-channel mechanism (which
+// excludes faults): lane buffers, credits, and per-lane reception state must
+// round-trip through a snapshot.
+func TestResumeEquivalenceVC(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	for _, mech := range checkpointMechanisms {
+		t.Run(mech.name, func(t *testing.T) {
+			base := vcConfig(t, net, 2)
+			mech.apply(&base)
+			want, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckpt := vcConfig(t, net, 2)
+			mech.apply(&ckpt)
+			res, snaps := runCheckpointed(t, ckpt, 10_000)
+			if !reflect.DeepEqual(want, res) {
+				t.Fatal("taking checkpoints perturbed the run")
+			}
+			resume := vcConfig(t, net, 2)
+			mech.apply(&resume)
+			expectResume(t, resume, snaps[len(snaps)/2], want, "mid-run snapshot")
+		})
+	}
+}
+
+// TestResumeEverysnapshot resumes one run from its first, middle, and last
+// snapshots — early (mid-warmup), mid-measurement, and near the end must all
+// converge to the identical result.
+func TestResumeEverySnapshot(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	base := shardConfig(t, net, routes.ITBRR, false)
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps := runCheckpointed(t, shardConfig(t, net, routes.ITBRR, false), 10_000)
+	for _, pick := range []int{0, len(snaps) / 2, len(snaps) - 1} {
+		expectResume(t, shardConfig(t, net, routes.ITBRR, false), snaps[pick], want, "snapshot")
+	}
+}
+
+// TestResumeCrossMechanism proves a snapshot is mechanism-portable: state
+// written under the sharded core restores under the dense scan and vice
+// versa (and under a different shard count), because active sets are
+// re-derived rather than serialized and the config hash excludes
+// execution-mechanism knobs.
+func TestResumeCrossMechanism(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	mk := func() Config { return shardConfig(t, net, routes.ITBRR, false) }
+	want, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedCfg := mk()
+	shardedCfg.Shards = 3
+	_, shardedSnaps := runCheckpointed(t, shardedCfg, 10_000)
+	denseCfg := mk()
+	denseCfg.DenseStep = true
+	_, denseSnaps := runCheckpointed(t, denseCfg, 10_000)
+
+	resume := mk()
+	resume.DenseStep = true
+	expectResume(t, resume, shardedSnaps[len(shardedSnaps)/2], want, "sharded snapshot, dense resume")
+	resume = mk()
+	resume.Shards = 3
+	expectResume(t, resume, denseSnaps[len(denseSnaps)/2], want, "dense snapshot, sharded resume")
+	resume = mk()
+	resume.Shards = 2
+	expectResume(t, resume, shardedSnaps[len(shardedSnaps)/2], want, "3-shard snapshot, 2-shard resume")
+}
+
+// TestResumeEquivalenceTopologies spot-checks the matrix on the other two
+// topology families (express torus, irregular CPLANT) with faults live.
+func TestResumeEquivalenceTopologies(t *testing.T) {
+	for _, net := range shardNets(t)[1:] {
+		t.Run(net.Name, func(t *testing.T) {
+			base := shardConfig(t, net, routes.ITBSP, true)
+			want, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, snaps := runCheckpointed(t, shardConfig(t, net, routes.ITBSP, true), 10_000)
+			expectResume(t, shardConfig(t, net, routes.ITBSP, true), snaps[len(snaps)/2], want, "mid-run snapshot")
+		})
+	}
+}
+
+// TestRestoreRejects pins the failure modes of Restore: wrong magic,
+// truncation, trailing garbage, and a checkpoint from a different
+// experiment configuration.
+func TestRestoreRejects(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	cfg := shardConfig(t, net, routes.UpDown, false)
+	_, snaps := runCheckpointed(t, cfg, 10_000)
+	snap := snaps[0]
+
+	if _, err := Restore(cfg, []byte("not a checkpoint at all")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("garbage accepted: %v", err)
+	}
+	if _, err := Restore(cfg, snap[:len(snap)/2]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	if _, err := Restore(cfg, append(append([]byte(nil), snap...), 0)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing bytes accepted: %v", err)
+	}
+	other := shardConfig(t, net, routes.UpDown, false)
+	other.Seed = 999
+	if _, err := Restore(other, snap); err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Errorf("checkpoint accepted under a different seed: %v", err)
+	}
+	other = shardConfig(t, net, routes.UpDown, false)
+	other.Load = 0.5
+	if _, err := Restore(other, snap); err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Errorf("checkpoint accepted under a different load: %v", err)
+	}
+}
+
+// TestCheckpointConfigValidation pins the New-time gates for the periodic
+// checkpointing hook and Snapshot's own refusals.
+func TestCheckpointConfigValidation(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	tab := makeTable(t, net, routes.UpDown)
+
+	cfg := baseConfig(net, tab)
+	cfg.CheckpointEvery = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative CheckpointEvery accepted")
+	}
+
+	cfg = baseConfig(net, tab)
+	cfg.CheckpointEvery = 1000
+	if _, err := New(cfg); err == nil {
+		t.Error("CheckpointEvery without a sink accepted")
+	}
+
+	cfg = baseConfig(net, tab)
+	cfg.CheckpointEvery = 1000
+	cfg.CheckpointSink = func(int64, []byte) error { return nil }
+	cfg.Tracer = discardTracer{}
+	if _, err := New(cfg); err == nil {
+		t.Error("checkpointing with a Tracer accepted")
+	}
+
+	cfg = baseConfig(net, tab)
+	cfg.Notify = func(Delivery) {}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("Snapshot with Notify succeeded; callback state cannot round-trip")
+	}
+}
+
+// TestCheckpointSinkErrorAborts verifies a failing sink stops the run with
+// the sink's error.
+func TestCheckpointSinkErrorAborts(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	cfg := shardConfig(t, net, routes.UpDown, false)
+	cfg.CheckpointEvery = 1000
+	cfg.CheckpointSink = func(int64, []byte) error {
+		return context.Canceled
+	}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "checkpoint sink") {
+		t.Errorf("run survived a failing checkpoint sink: %v", err)
+	}
+}
+
+// TestStallDumpSurvivesRestore is the watchdog-diagnostics check: a stalled
+// packet's reported age is measured from its generation cycle, which is
+// serialized, so the dump from a restored Sim must equal the original's —
+// ages must not restart from the resume point.
+func TestStallDumpSurvivesRestore(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	cfg := shardConfig(t, net, routes.ITBRR, false)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s.outstanding == 0 || s.now < 5_000 {
+		s.step()
+		if s.now > 1_000_000 {
+			t.Fatal("no traffic in flight after a million cycles")
+		}
+	}
+	want := s.stallDump(maxStalledReported)
+	if want == nil || want.Outstanding == 0 {
+		t.Fatalf("no stall state to compare: %+v", want)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(shardConfig(t, net, routes.ITBRR, false), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.stallDump(maxStalledReported)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("stall dump changed across restore:\nwant: %+v\ngot:  %+v", want, got)
+	}
+	if got.Oldest[0].AgeCycles <= 0 {
+		t.Error("restored stall ages reset to zero")
+	}
+}
+
+// TestResumeManualStepping snapshots from a manually stepped simulator (no
+// RunContext, no CheckpointEvery hook) at an exact chosen cycle and resumes
+// it with ResumeContext — the two entry points must compose.
+func TestResumeManualStepping(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	cfg := baseConfig(net, makeTable(t, net, routes.UpDown))
+	run := func(snapshotAt int64) (*Result, []byte) {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap []byte
+		for {
+			// The measurement transitions RunContext performs, minus the
+			// metrics collector (nil here).
+			if !s.measuring && s.deliveredTotal >= int64(cfg.WarmupMessages) {
+				s.measuring = true
+				s.measureStart = s.now
+			}
+			if s.measuring && s.measCount >= int64(cfg.MeasureMessages) {
+				break
+			}
+			s.step()
+			if snap == nil && s.now == snapshotAt {
+				if snap, err = s.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s.now > 100_000_000 {
+				t.Fatal("run did not finish")
+			}
+		}
+		return s.finalize(false), snap
+	}
+	want, snap := run(30_000)
+	if snap == nil {
+		t.Fatal("no snapshot taken")
+	}
+	got, err := ResumeContext(context.Background(), cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("manual-stepping resume diverges:\nwant: %+v\ngot:  %+v", want, got)
+	}
+}

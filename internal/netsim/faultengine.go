@@ -183,6 +183,13 @@ type faultEngine struct {
 	detectAt   int64
 	pendingRc  *faults.Reconfiguration
 
+	// tableSwapPlanIdx is the plan position (planIdx) at the time of the
+	// last completed table swap, or -1 while the build-time table is still
+	// live. Checkpoint restore re-derives the swapped table by replaying
+	// plan[:tableSwapPlanIdx] through the (memoized, deterministic)
+	// Reconfigurer instead of serializing route alternatives.
+	tableSwapPlanIdx int
+
 	nextWake int64
 
 	// needPurge requests a purgeDeadState sweep at the end of the current
@@ -206,10 +213,11 @@ const maxWake = int64(1<<63 - 1)
 
 func newFaultEngine(s *Sim, plan *faults.Plan, rec Reconfigurer) *faultEngine {
 	fe := &faultEngine{
-		plan: plan.Sorted(),
-		set:  faults.NewSet(s.net),
-		rec:  rec,
-		down: make([]bool, len(s.links)),
+		plan:             plan.Sorted(),
+		set:              faults.NewSet(s.net),
+		rec:              rec,
+		down:             make([]bool, len(s.links)),
+		tableSwapPlanIdx: -1,
 	}
 	fe.recomputeWake()
 	return fe
@@ -469,6 +477,7 @@ func (fe *faultEngine) advanceReconfig(s *Sim) {
 func (fe *faultEngine) swapTables(s *Sim) {
 	rc := fe.pendingRc
 	fe.pendingRc = nil
+	fe.tableSwapPlanIdx = fe.planIdx
 	s.table = rc.Table.Clone() // private round-robin state for this sim
 	fe.reconfigs = append(fe.reconfigs, ReconfigStat{
 		EventCycle:  fe.eventCycle,

@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // reinjState tracks one in-transit packet inside a NIC, from the arrival of
@@ -64,7 +63,7 @@ type nic struct {
 	overflows int64
 
 	// Generation process.
-	rng     *rand.Rand
+	rng     *RNG
 	nextGen float64
 	stopGen bool
 	// genSeq numbers this host's generated messages; packet IDs are

@@ -43,7 +43,7 @@ func TestConservationUnderRandomParams(t *testing.T) {
 		res, err := Run(Config{
 			Net:   net,
 			Table: tab.Clone(),
-			Dest: func(src int, r *rand.Rand) int {
+			Dest: func(src int, r *RNG) int {
 				d := r.Intn(net.NumHosts() - 1)
 				if d >= src {
 					d++

@@ -1,0 +1,47 @@
+package netsim
+
+import "math/bits"
+
+// RNG is the per-NIC random-number generator: a splitmix64 stream whose
+// entire state is one uint64, so it serializes into a checkpoint and
+// round-trips exactly (docs/CHECKPOINT.md). It replaces the math/rand
+// generators the simulator used before checkpointing existed; the draw
+// sequence differs from math/rand, so result pins were re-derived once at
+// the switch (the seed→stream mapping is stable from then on).
+//
+// The mixing constants are the same splitmix64 finalizer the runner's
+// DeriveSeed uses, so the two stay recognizably one PRNG family.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)}
+}
+
+// Uint64 advances the stream and returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand. The draw uses Lemire rejection-free multiply-shift reduction;
+// the tiny bias (< 2^-32 for all simulator-sized n) is irrelevant for
+// traffic generation and keeps the draw one multiplication.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("netsim: RNG.Intn called with n <= 0")
+	}
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

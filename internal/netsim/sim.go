@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 
 	"itbsim/internal/faults"
@@ -16,8 +15,9 @@ import (
 
 // DestFn chooses a destination host for a message generated at src. It must
 // return a valid host different from src. Implementations live in
-// internal/traffic.
-type DestFn func(src int, rng *rand.Rand) int
+// internal/traffic. The generator is the per-NIC serializable RNG, so
+// destination streams checkpoint and restore exactly.
+type DestFn func(src int, rng *RNG) int
 
 // Config describes one simulation run.
 type Config struct {
@@ -91,6 +91,18 @@ type Config struct {
 	// calls with distinct per-host RNGs (all built-in traffic patterns
 	// are).
 	Shards int
+
+	// CheckpointEvery, when positive, snapshots the full simulator state
+	// every that many cycles and hands the bytes to CheckpointSink. The
+	// snapshot is taken at the cycle boundary (Snapshot's requirement), so
+	// any multiple of one cycle is valid. Requires Tracer and Notify nil
+	// and a table without a Selector — the same states Snapshot refuses.
+	CheckpointEvery int64
+
+	// CheckpointSink receives each periodic snapshot. A non-nil error
+	// aborts the run (RunContext returns it). Required when
+	// CheckpointEvery > 0; see docs/CHECKPOINT.md for the format.
+	CheckpointSink func(cycle int64, snapshot []byte) error
 
 	Params Params
 }
@@ -315,6 +327,20 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("netsim: CheckpointEvery must be >= 0, got %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CheckpointSink == nil {
+			return nil, fmt.Errorf("netsim: CheckpointEvery > 0 requires a CheckpointSink")
+		}
+		if cfg.Tracer != nil || cfg.Notify != nil {
+			return nil, fmt.Errorf("netsim: checkpointing requires Tracer and Notify nil (callback state cannot be serialized)")
+		}
+		if cfg.Table.HasSelector() {
+			return nil, fmt.Errorf("netsim: checkpointing requires a table without an adaptive Selector")
+		}
+	}
 	numShards, err := resolveShards(cfg)
 	if err != nil {
 		return nil, err
@@ -447,7 +473,7 @@ func (s *Sim) build() {
 		n := &s.nics[h]
 		n.host = h
 		n.upLink = up
-		n.rng = rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(h)*7919 + 1))
+		n.rng = NewRNG(s.cfg.Seed*1_000_003 + int64(h)*7919 + 1)
 		n.nextGen = n.rng.Float64() * s.genIntervalCycles
 	}
 
@@ -918,6 +944,15 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 			return nil, s.deadlockError()
 		}
 		s.step()
+		if s.cfg.CheckpointEvery > 0 && s.now%s.cfg.CheckpointEvery == 0 {
+			snap, err := s.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("netsim: periodic checkpoint at cycle %d: %w", s.now, err)
+			}
+			if err := s.cfg.CheckpointSink(s.now, snap); err != nil {
+				return nil, fmt.Errorf("netsim: checkpoint sink at cycle %d: %w", s.now, err)
+			}
+		}
 	}
 	return s.finalize(truncated), nil
 }

@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"errors"
-	"math/rand"
 	"testing"
 
 	"itbsim/internal/routes"
@@ -11,7 +10,7 @@ import (
 
 // uniformDest picks a uniformly random destination different from src.
 func uniformDest(numHosts int) DestFn {
-	return func(src int, rng *rand.Rand) int {
+	return func(src int, rng *RNG) int {
 		for {
 			d := rng.Intn(numHosts)
 			if d != src {
@@ -269,7 +268,7 @@ func TestDeadlockWatchdogFires(t *testing.T) {
 	cfg := Config{
 		Net:   net,
 		Table: tab,
-		Dest: func(src int, rng *rand.Rand) int {
+		Dest: func(src int, rng *RNG) int {
 			return (src + 2) % 4 // two hops clockwise, closing the cycle
 		},
 		Load:            1e-9, // no background generation

@@ -395,6 +395,42 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// RRSnapshot returns a deep copy of the per-source-host round-robin cursors
+// (nil for tables without selection state). Checkpointing uses it to capture
+// a mid-run table's position; pair with RestoreRR on the restored table.
+func (t *Table) RRSnapshot() [][]uint32 {
+	if t.rr == nil {
+		return nil
+	}
+	out := make([][]uint32, len(t.rr))
+	for h := range t.rr {
+		out[h] = append([]uint32(nil), t.rr[h]...)
+	}
+	return out
+}
+
+// RestoreRR overwrites the table's round-robin cursors with a snapshot taken
+// by RRSnapshot on a table of the same shape. A nil snapshot is valid only
+// for tables without selection state.
+func (t *Table) RestoreRR(rr [][]uint32) error {
+	if rr == nil {
+		if t.rr != nil {
+			return fmt.Errorf("routes: RestoreRR: nil snapshot for a table with %d cursor rows", len(t.rr))
+		}
+		return nil
+	}
+	if t.rr == nil || len(rr) != len(t.rr) {
+		return fmt.Errorf("routes: RestoreRR: snapshot has %d rows, table has %d", len(rr), len(t.rr))
+	}
+	for h := range rr {
+		if len(rr[h]) != len(t.rr[h]) {
+			return fmt.Errorf("routes: RestoreRR: row %d has %d cursors, table has %d", h, len(rr[h]), len(t.rr[h]))
+		}
+		copy(t.rr[h], rr[h])
+	}
+	return nil
+}
+
 // PrivateRR returns a view of the table with private round-robin selection
 // state: the (immutable) route alternatives and any installed Selector are
 // shared, but the per-source-host RR cursors are fresh. The simulator takes

@@ -1,0 +1,326 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"itbsim/internal/metrics"
+	"itbsim/internal/netsim"
+	"itbsim/internal/stats"
+)
+
+// The sweep journal makes a Run crash-safe (docs/CHECKPOINT.md): completed
+// jobs append one NDJSON record to <dir>/journal.ndjson, and each in-flight
+// job periodically writes <dir>/job-<index>.ckpt — its finished points plus
+// a netsim snapshot of the point being simulated, replaced atomically via
+// tmp+rename. A killed sweep rerun with Resume reloads the journal, serves
+// journaled jobs without re-simulating, restores in-flight jobs mid-point,
+// and produces the Report the uninterrupted sweep would have.
+//
+// Crash safety of the journal itself: records are written with a single
+// append of one full line, so the only possible corruption is a torn final
+// line, which loadJournal skips (that job simply re-runs).
+
+// journalName is the completed-job log inside Spec.CheckpointDir.
+const journalName = "journal.ndjson"
+
+// defaultCheckpointEvery is the snapshot period (in simulated cycles) used
+// when a CheckpointDir is set without an explicit CheckpointEvery.
+const defaultCheckpointEvery int64 = 250_000
+
+// journalPoint is one finished load point in a journal record. The latency
+// histograms are carried as their binary encoding (JSON renders []byte as
+// base64) because metrics.Metrics excludes them from JSON.
+type journalPoint struct {
+	Load       float64        `json:"load"`
+	Result     *netsim.Result `json:"result"`
+	Latency    []byte         `json:"latency,omitempty"`
+	NetLatency []byte         `json:"net_latency,omitempty"`
+}
+
+// journalRecord is one completed job. Identity fields guard against
+// resuming a journal under a different spec: on resume every record must
+// match the job expanded at its index.
+type journalRecord struct {
+	Index        int            `json:"index"`
+	Label        string         `json:"label"`
+	Scheme       string         `json:"scheme"`
+	Pattern      string         `json:"pattern"`
+	Replica      int            `json:"replica"`
+	TableBuildUs int64          `json:"table_build_us"`
+	SimUs        int64          `json:"sim_us"`
+	Points       []journalPoint `json:"points"`
+}
+
+// ckptHeader is the JSON first line of a job-<index>.ckpt file; the rest of
+// the file is the raw netsim snapshot of the point being simulated.
+type ckptHeader struct {
+	Index   int            `json:"index"`
+	Label   string         `json:"label"`
+	Scheme  string         `json:"scheme"`
+	Pattern string         `json:"pattern"`
+	Replica int            `json:"replica"`
+	Point   int            `json:"point"`
+	Cycle   int64          `json:"cycle"`
+	Points  []journalPoint `json:"points"`
+}
+
+// matches reports whether the record identity belongs to job j.
+func jobIdentityMatches(index int, label, scheme, pattern string, replica int, j Job) bool {
+	return index == j.Index && label == j.Label && scheme == j.Scheme.String() &&
+		pattern == j.Pattern.String() && replica == j.Replica
+}
+
+// journal is the live handle a Run holds on its checkpoint directory.
+type journal struct {
+	mu  sync.Mutex
+	dir string
+	f   *os.File
+}
+
+// openJournal prepares dir for a Run. A fresh run (resume false) truncates
+// any previous journal and clears stale per-job checkpoints; a resumed run
+// opens the journal for appending, keeping its records.
+func openJournal(dir string, resume bool) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		stale, err := filepath.Glob(filepath.Join(dir, "job-*.ckpt"))
+		if err == nil {
+			for _, p := range stale {
+				os.Remove(p) //lint:ignore errcheck-lite best-effort cleanup of a stale checkpoint
+			}
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), flags, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	return &journal{dir: dir, f: f}, nil
+}
+
+func (jl *journal) close() error { return jl.f.Close() }
+
+// append journals one completed job: a full NDJSON line in a single write,
+// synced before returning so the record survives the process dying next.
+func (jl *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runner: journal job %d: %w", rec.Index, err)
+	}
+	line = append(line, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if _, err := jl.f.Write(line); err != nil {
+		return fmt.Errorf("runner: journal job %d: %w", rec.Index, err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal job %d: %w", rec.Index, err)
+	}
+	return nil
+}
+
+// loadJournal reads the completed-job records of a previous run, keyed by
+// job index. A torn final line (the process died mid-append) is skipped;
+// torn or duplicate records elsewhere are an error.
+func loadJournal(dir string) (map[int]journalRecord, error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if os.IsNotExist(err) {
+		return map[int]journalRecord{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: read journal: %w", err)
+	}
+	defer f.Close() //lint:ignore errcheck-lite read-only close
+	out := map[int]journalRecord{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
+	line := 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return nil, pendingErr // a torn record that was NOT the last line
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("runner: journal line %d corrupt: %w", line, err)
+			continue
+		}
+		if _, dup := out[rec.Index]; dup {
+			return nil, fmt.Errorf("runner: journal has two records for job %d", rec.Index)
+		}
+		out[rec.Index] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runner: read journal: %w", err)
+	}
+	return out, nil
+}
+
+func ckptPath(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("job-%d.ckpt", index))
+}
+
+// writeCkpt atomically replaces the job's in-flight checkpoint file:
+// header line, then the raw snapshot, written to a temp file and renamed.
+func (jl *journal) writeCkpt(hdr ckptHeader, snap []byte) error {
+	head, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint job %d: %w", hdr.Index, err)
+	}
+	path := ckptPath(jl.dir, hdr.Index)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint job %d: %w", hdr.Index, err)
+	}
+	_, werr := f.Write(append(append(head, '\n'), snap...))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp) //lint:ignore errcheck-lite best-effort cleanup after a failed write
+		return fmt.Errorf("runner: checkpoint job %d: %w", hdr.Index, werr)
+	}
+	return nil
+}
+
+// loadCkpt reads a job's in-flight checkpoint; (nil, nil, nil) when none
+// exists. A corrupt file is skipped the same way — the job's unjournaled
+// points simply re-run from scratch.
+func loadCkpt(dir string, index int) (*ckptHeader, []byte, error) {
+	data, err := os.ReadFile(ckptPath(dir, index))
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("runner: read checkpoint for job %d: %w", index, err)
+	}
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, nil, nil // torn header: treat as absent
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, nil, nil // torn header: treat as absent
+	}
+	return &hdr, data[nl+1:], nil
+}
+
+// removeCkpt deletes a job's in-flight checkpoint once the job is journaled.
+func (jl *journal) removeCkpt(index int) {
+	os.Remove(ckptPath(jl.dir, index)) //lint:ignore errcheck-lite best-effort cleanup; a stale file is ignored on resume
+}
+
+// encodePoints converts finished curve points to their journal form,
+// extracting the latency histograms metrics.Metrics keeps out of JSON.
+func encodePoints(points []stats.SweepPoint) ([]journalPoint, error) {
+	out := make([]journalPoint, 0, len(points))
+	for _, p := range points {
+		jp := journalPoint{Load: p.Load, Result: p.Result}
+		if p.Result != nil && p.Result.Metrics != nil {
+			var err error
+			if h := p.Result.Metrics.Latency; h != nil {
+				if jp.Latency, err = h.MarshalBinary(); err != nil {
+					return nil, err
+				}
+			}
+			if h := p.Result.Metrics.NetLatency; h != nil {
+				if jp.NetLatency, err = h.MarshalBinary(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, jp)
+	}
+	return out, nil
+}
+
+// decodePoints restores journaled points, reattaching the histograms.
+func decodePoints(jps []journalPoint) ([]stats.SweepPoint, error) {
+	if len(jps) == 0 {
+		return nil, nil
+	}
+	out := make([]stats.SweepPoint, 0, len(jps))
+	for i, jp := range jps {
+		if jp.Result != nil && jp.Result.Metrics != nil {
+			if len(jp.Latency) > 0 {
+				h := &metrics.Histogram{}
+				if err := h.UnmarshalBinary(jp.Latency); err != nil {
+					return nil, fmt.Errorf("runner: journal point %d: %w", i, err)
+				}
+				jp.Result.Metrics.Latency = h
+			}
+			if len(jp.NetLatency) > 0 {
+				h := &metrics.Histogram{}
+				if err := h.UnmarshalBinary(jp.NetLatency); err != nil {
+					return nil, fmt.Errorf("runner: journal point %d: %w", i, err)
+				}
+				jp.Result.Metrics.NetLatency = h
+			}
+		}
+		out = append(out, stats.SweepPoint{Load: jp.Load, Result: jp.Result})
+	}
+	return out, nil
+}
+
+// recordFromResult journals a successfully completed job.
+func recordFromResult(cr *CurveResult) (journalRecord, error) {
+	points, err := encodePoints(cr.Curve.Points)
+	if err != nil {
+		return journalRecord{}, err
+	}
+	return journalRecord{
+		Index:        cr.Job.Index,
+		Label:        cr.Job.Label,
+		Scheme:       cr.Job.Scheme.String(),
+		Pattern:      cr.Job.Pattern.String(),
+		Replica:      cr.Job.Replica,
+		TableBuildUs: cr.TableBuild.Microseconds(),
+		SimUs:        cr.Sim.Microseconds(),
+		Points:       points,
+	}, nil
+}
+
+// resultFromRecord rebuilds the CurveResult of a journaled job.
+func resultFromRecord(rec journalRecord, j Job) (CurveResult, error) {
+	if !jobIdentityMatches(rec.Index, rec.Label, rec.Scheme, rec.Pattern, rec.Replica, j) {
+		return CurveResult{}, fmt.Errorf(
+			"runner: journal record %d (%s %s %s r%d) does not match job %d (%s %s %s r%d): the journal was written by a different spec",
+			rec.Index, rec.Scheme, rec.Pattern, rec.Label, rec.Replica,
+			j.Index, j.Scheme, j.Pattern, j.Label, j.Replica)
+	}
+	points, err := decodePoints(rec.Points)
+	if err != nil {
+		return CurveResult{}, err
+	}
+	cr := CurveResult{
+		Job:        j,
+		TableBuild: time.Duration(rec.TableBuildUs) * time.Microsecond,
+		Sim:        time.Duration(rec.SimUs) * time.Microsecond,
+	}
+	cr.Curve.Label = j.Label
+	cr.Curve.Points = points
+	return cr, nil
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"sync"
@@ -118,6 +119,23 @@ type Spec struct {
 	// splits each simulation internally — so on a loaded sweep prefer
 	// Parallel and reserve Shards > 1 for few large simulations.
 	Shards int
+	// CheckpointDir enables the crash-safe sweep journal (see
+	// docs/CHECKPOINT.md): completed jobs are recorded in
+	// <dir>/journal.ndjson, and each in-flight job periodically writes a
+	// restorable snapshot to <dir>/job-<index>.ckpt. A fresh Run clears
+	// the directory's previous journal; set Resume to reuse it instead.
+	CheckpointDir string
+	// CheckpointEvery is the in-flight snapshot period in simulated
+	// cycles. Zero with a CheckpointDir set means 250,000; setting it
+	// requires a CheckpointDir.
+	CheckpointEvery int64
+	// Resume picks up a killed or crashed Run from CheckpointDir:
+	// journaled jobs are served from their records without re-simulating,
+	// a job with an in-flight snapshot restarts mid-point, and the Report
+	// matches the uninterrupted run's. Requires a CheckpointDir holding a
+	// journal written by the same spec.
+	Resume bool
+
 	// Context cancels in-flight simulations between cycles and skips
 	// not-yet-started points; nil means context.Background().
 	Context context.Context
@@ -182,6 +200,38 @@ func (s Spec) normalized() (Spec, []Job, error) {
 		if err := s.Faults.Validate(s.Net); err != nil {
 			return s, nil, fmt.Errorf("runner: %w", err)
 		}
+		// Virtual-channel flow control excludes fault injection (the VC
+		// deadlock-freedom argument assumes every assigned lane exists),
+		// so reject the combination up front — before any table is built
+		// or any sibling curve has run — naming the field that asked for
+		// virtual channels.
+		if s.Params.VCs > 0 {
+			return s, nil, &topology.ConfigError{Field: "Params.VCs", Value: s.Params.VCs,
+				Reason: "virtual-channel flow control excludes Faults; drop the fault plan or the virtual channels"}
+		}
+		if s.Table != nil && s.Table.NumVCs > 0 {
+			return s, nil, &topology.ConfigError{Field: "Table", Value: s.Table.Scheme.String(),
+				Reason: "a virtual-channel routing table excludes Faults; drop the fault plan or use a non-VC table"}
+		}
+		for _, sch := range s.Schemes {
+			if sch == routes.VC {
+				return s, nil, &topology.ConfigError{Field: "Schemes", Value: sch.String(),
+					Reason: "the VC scheme excludes Faults; drop the fault plan or sweep the VC curve separately"}
+			}
+		}
+	}
+	if s.CheckpointEvery < 0 {
+		return s, nil, fmt.Errorf("runner: CheckpointEvery must be >= 0, got %d", s.CheckpointEvery)
+	}
+	if s.CheckpointDir == "" {
+		if s.CheckpointEvery > 0 {
+			return s, nil, fmt.Errorf("runner: CheckpointEvery requires a CheckpointDir")
+		}
+		if s.Resume {
+			return s, nil, fmt.Errorf("runner: Resume requires the CheckpointDir of the interrupted run")
+		}
+	} else if s.CheckpointEvery == 0 {
+		s.CheckpointEvery = defaultCheckpointEvery
 	}
 	if s.Table != nil && len(s.Schemes) > 0 {
 		return s, nil, fmt.Errorf("runner: set Spec.Table or Spec.Schemes, not both")
@@ -290,6 +340,19 @@ func Run(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jl *journal
+	done := map[int]journalRecord{}
+	if ns.CheckpointDir != "" {
+		if ns.Resume {
+			if done, err = loadJournal(ns.CheckpointDir); err != nil {
+				return nil, err
+			}
+		}
+		if jl, err = openJournal(ns.CheckpointDir, ns.Resume); err != nil {
+			return nil, err
+		}
+		defer jl.close() //lint:ignore errcheck-lite every record was already synced by append
+	}
 	rep := &Report{Curves: make([]CurveResult, len(jobs)), Parallel: ns.Parallel}
 	reporter := newLockedReporter(ns.Reporter)
 
@@ -311,7 +374,7 @@ func Run(spec Spec) (*Report, error) {
 				// the caller profiles (cmd/* -cpuprofile); it costs one
 				// context allocation per curve, nothing per cycle.
 				pprof.Do(context.Background(), pprof.Labels("job", j.Label), func(context.Context) {
-					rep.Curves[j.Index] = ns.runJob(j, reporter)
+					rep.Curves[j.Index] = ns.executeJob(j, reporter, jl, done)
 				})
 			}
 		}()
@@ -348,9 +411,64 @@ func (s Spec) Sweep() (stats.Curve, error) {
 	return rep.Curves[0].Curve, nil
 }
 
+// PanicError is a panic recovered from a job worker, carried in the job's
+// CurveResult.Err so one crashing curve does not take down the sweep: the
+// remaining jobs finish, and Run reports the panic as that job's error.
+type PanicError struct {
+	// Value is the value the job panicked with.
+	Value any
+	// Stack is the worker goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// executeJob runs one job with panic containment and journal integration:
+// a job already in the resume journal is served from its record, a freshly
+// finished job is journaled (and its in-flight checkpoint dropped), and a
+// panic anywhere inside becomes a PanicError result instead of a crash.
+func (s *Spec) executeJob(j Job, reporter *lockedReporter, jl *journal, done map[int]journalRecord) (cr CurveResult) {
+	defer func() {
+		if v := recover(); v != nil {
+			cr = CurveResult{Job: j, Err: &PanicError{Value: v, Stack: debug.Stack()}}
+			cr.Curve.Label = j.Label
+		}
+	}()
+	if rec, ok := done[j.Index]; ok {
+		res, err := resultFromRecord(rec, j)
+		if err != nil {
+			return CurveResult{Job: j, Err: err}
+		}
+		reporter.jobStarted(j)
+		for _, p := range res.Curve.Points {
+			reporter.pointDone(j, p.Load, p.Result)
+		}
+		reporter.jobDone(&res)
+		return res
+	}
+	cr = s.runJob(j, reporter, jl)
+	if jl != nil && cr.Err == nil {
+		rec, err := recordFromResult(&cr)
+		if err == nil {
+			err = jl.append(rec)
+		}
+		if err != nil {
+			cr.Err = err
+		} else {
+			jl.removeCkpt(j.Index)
+		}
+	}
+	return cr
+}
+
 // runJob walks one curve's load grid in order, early-stopping past
-// saturation.
-func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
+// saturation. With a journal it also checkpoints the walk: each point's
+// simulation periodically snapshots into <dir>/job-<index>.ckpt alongside
+// the finished points, and on Resume the walk reuses finished points and
+// restarts the interrupted point from its snapshot mid-simulation.
+func (s *Spec) runJob(j Job, reporter *lockedReporter, jl *journal) CurveResult {
 	cr := CurveResult{Job: j}
 	cr.Curve.Label = j.Label
 	reporter.jobStarted(j)
@@ -382,6 +500,26 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 		reconf = faults.NewController(s.Net, s.FaultMapperHost, s.RouteConfig(j.Scheme))
 	}
 
+	// On resume, load the job's in-flight checkpoint: the points finished
+	// before the kill plus a snapshot of the point that was simulating.
+	var resumeHdr *ckptHeader
+	var resumeSnap []byte
+	if jl != nil && s.Resume {
+		hdr, snap, err := loadCkpt(jl.dir, j.Index)
+		if err != nil {
+			cr.Err = err
+			return cr
+		}
+		if hdr != nil {
+			if !jobIdentityMatches(hdr.Index, hdr.Label, hdr.Scheme, hdr.Pattern, hdr.Replica, j) {
+				cr.Err = fmt.Errorf("runner: checkpoint for job %d (%s %s %s r%d) does not match this spec: it was written by a different run",
+					j.Index, hdr.Scheme, hdr.Pattern, hdr.Label, hdr.Replica)
+				return cr
+			}
+			resumeHdr, resumeSnap = hdr, snap
+		}
+	}
+
 	simStart := time.Now() //lint:ignore noclock wall-clock bookkeeping only
 	//lint:ignore noclock wall-clock bookkeeping only
 	defer func() { cr.Sim = time.Since(simStart) }()
@@ -391,26 +529,66 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter) CurveResult {
 			cr.Err = err
 			return cr
 		}
-		res, err := netsim.RunContext(s.Context, netsim.Config{
-			Net:             s.Net,
-			Table:           table.Clone(),
-			Dest:            dest,
-			Load:            load,
-			MessageBytes:    s.MessageBytes,
-			Seed:            s.pointSeed(j, i),
-			WarmupMessages:  s.WarmupMessages,
-			MeasureMessages: s.MeasureMessages,
-			MaxCycles:       s.MaxCycles,
-			CollectLinkUtil: s.CollectLinkUtil,
-			Metrics:         s.Metrics,
-			Params:          s.Params,
-			Faults:          s.Faults,
-			Reconfigurer:    reconf,
-			Shards:          s.Shards,
-		})
-		if err != nil {
-			cr.Err = fmt.Errorf("load %g: %w", load, err)
-			return cr
+		var res *netsim.Result
+		if resumeHdr != nil && i < len(resumeHdr.Points) {
+			// The point finished before the kill: reuse its result.
+			//lint:ignore floateq both sides are the same stored spec value, not recomputed; any difference means a foreign checkpoint
+			if resumeHdr.Points[i].Load != load {
+				cr.Err = fmt.Errorf("runner: checkpoint for job %d has load %g at point %d, spec has %g: it was written by a different run",
+					j.Index, resumeHdr.Points[i].Load, i, load)
+				return cr
+			}
+			pts, derr := decodePoints(resumeHdr.Points[i : i+1])
+			if derr != nil {
+				cr.Err = derr
+				return cr
+			}
+			res = pts[0].Result
+		} else {
+			cfg := netsim.Config{
+				Net:             s.Net,
+				Table:           table.Clone(),
+				Dest:            dest,
+				Load:            load,
+				MessageBytes:    s.MessageBytes,
+				Seed:            s.pointSeed(j, i),
+				WarmupMessages:  s.WarmupMessages,
+				MeasureMessages: s.MeasureMessages,
+				MaxCycles:       s.MaxCycles,
+				CollectLinkUtil: s.CollectLinkUtil,
+				Metrics:         s.Metrics,
+				Params:          s.Params,
+				Faults:          s.Faults,
+				Reconfigurer:    reconf,
+				Shards:          s.Shards,
+			}
+			if jl != nil {
+				// The sink header carries everything a resumed walk needs
+				// besides the snapshot itself; the finished points are
+				// encoded once per point, not once per snapshot.
+				prior, eerr := encodePoints(cr.Curve.Points)
+				if eerr != nil {
+					cr.Err = eerr
+					return cr
+				}
+				hdr := ckptHeader{Index: j.Index, Label: j.Label, Scheme: j.Scheme.String(),
+					Pattern: j.Pattern.String(), Replica: j.Replica, Point: i, Points: prior}
+				cfg.CheckpointEvery = s.CheckpointEvery
+				cfg.CheckpointSink = func(cycle int64, snap []byte) error {
+					hdr.Cycle = cycle
+					return jl.writeCkpt(hdr, snap)
+				}
+			}
+			var rerr error
+			if resumeHdr != nil && i == resumeHdr.Point && len(resumeSnap) > 0 {
+				res, rerr = netsim.ResumeContext(s.Context, cfg, resumeSnap)
+			} else {
+				res, rerr = netsim.RunContext(s.Context, cfg)
+			}
+			if rerr != nil {
+				cr.Err = fmt.Errorf("load %g: %w", load, rerr)
+				return cr
+			}
 		}
 		cr.Curve.Points = append(cr.Curve.Points, stats.SweepPoint{Load: load, Result: res})
 		reporter.pointDone(j, load, res)

@@ -3,7 +3,6 @@ package runner
 import (
 	"context"
 	"errors"
-	"math/rand"
 	"reflect"
 	"strings"
 	"sync"
@@ -303,7 +302,7 @@ func (r *recordingReporter) JobDone(*CurveResult) { r.done++ }
 
 // uniformDest is a deterministic stateless destination chooser for tests.
 func uniformDest(numHosts int) netsim.DestFn {
-	return func(src int, rng *rand.Rand) int {
+	return func(src int, rng *netsim.RNG) int {
 		for {
 			d := rng.Intn(numHosts)
 			if d != src {

@@ -13,7 +13,6 @@ package traffic
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"itbsim/internal/netsim"
 	"itbsim/internal/topology"
@@ -26,7 +25,7 @@ func Uniform(numHosts int) (netsim.DestFn, error) {
 	if numHosts < 2 {
 		return nil, fmt.Errorf("traffic: uniform needs at least 2 hosts")
 	}
-	return func(src int, rng *rand.Rand) int {
+	return func(src int, rng *netsim.RNG) int {
 		d := rng.Intn(numHosts - 1)
 		if d >= src {
 			d++
@@ -50,7 +49,7 @@ func BitReversal(numHosts int) (netsim.DestFn, error) {
 	for s := 0; s < numHosts; s++ {
 		rev[s] = int(bits.Reverse(uint(s)) >> (bits.UintSize - w))
 	}
-	return func(src int, rng *rand.Rand) int {
+	return func(src int, rng *netsim.RNG) int {
 		d := rev[src]
 		if d != src {
 			return d
@@ -78,7 +77,7 @@ func Hotspot(numHosts, hotspot int, fraction float64) (netsim.DestFn, error) {
 	if fraction < 0 || fraction > 1 {
 		return nil, fmt.Errorf("traffic: hotspot fraction %g out of [0,1]", fraction)
 	}
-	return func(src int, rng *rand.Rand) int {
+	return func(src int, rng *netsim.RNG) int {
 		if src != hotspot && rng.Float64() < fraction {
 			return hotspot
 		}
@@ -117,7 +116,7 @@ func Local(net *topology.Network, maxSwitches int) (netsim.DestFn, error) {
 	for h := 0; h < net.NumHosts(); h++ {
 		switchOf[h] = net.SwitchOf(h)
 	}
-	return func(src int, rng *rand.Rand) int {
+	return func(src int, rng *netsim.RNG) int {
 		c := candidates[switchOf[src]]
 		for {
 			d := c[rng.Intn(len(c))]

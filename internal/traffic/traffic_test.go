@@ -2,10 +2,10 @@ package traffic
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"itbsim/internal/netsim"
 	"itbsim/internal/topology"
 )
 
@@ -15,7 +15,7 @@ func TestUniformCoversAllAndAvoidsSelf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := netsim.NewRNG(1)
 	counts := make([]int, n)
 	const draws = 40000
 	for i := 0; i < draws; i++ {
@@ -52,7 +52,7 @@ func TestBitReversalPermutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := netsim.NewRNG(1)
 	// Non-palindromic sources map deterministically to their reversal.
 	// 0b000001 -> 0b100000 = 32.
 	if d := dest(1, rng); d != 32 {
@@ -76,7 +76,7 @@ func TestBitReversalInvolution(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := netsim.NewRNG(seed)
 		// rev(rev(x)) == x for non-palindromes: drawing twice via the
 		// deterministic branch returns to the source.
 		src := int(seed%int64(n)+int64(n)) % n
@@ -120,7 +120,7 @@ func TestHotspotFraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := netsim.NewRNG(1)
 	hits, draws := 0, 50000
 	for i := 0; i < draws; i++ {
 		src := rng.Intn(n - 1)
@@ -145,7 +145,7 @@ func TestHotspotSourceIsHotspot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := netsim.NewRNG(1)
 	for i := 0; i < 100; i++ {
 		if d := dest(2, rng); d == 2 {
 			t.Fatal("hotspot host sent to itself")
@@ -175,7 +175,7 @@ func TestLocalRespectsRadius(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rng := rand.New(rand.NewSource(1))
+		rng := netsim.NewRNG(1)
 		for i := 0; i < 20000; i++ {
 			src := rng.Intn(net.NumHosts())
 			d := dest(src, rng)
@@ -199,7 +199,7 @@ func TestLocalCoversRadius(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(42))
+	rng := netsim.NewRNG(42)
 	seenDist := map[int]bool{}
 	for i := 0; i < 20000; i++ {
 		d := dest(0, rng)
