@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test lint docs race race-determinism faults checkpoint bench bench-lowload bench-shards bench-vc profile clean
+.PHONY: all build vet test lint docs race race-determinism faults checkpoint optimize bench bench-lowload bench-shards bench-vc bench-optimize profile clean
 
 all: build vet test lint
 
@@ -61,6 +61,19 @@ checkpoint:
 	$(GO) test -race -count=1 -run 'Checkpoint|Snapshot|ResumeEquivalence' ./internal/netsim/
 	$(GO) test -race -count=1 -run 'KillAndResume|ResumeMidJob|SweepJournalRoundTrip|PanicContained' ./internal/runner/
 
+# The route-optimizer suite under the race detector: the package-level
+# property tests (invariants, determinism, deadlock freedom, escape
+# pruning), the runner-level determinism matrix on optimized tables
+# (-parallel 1 vs 8, Shards 1/2/NumCPU, optimizer + faults), the
+# checkpoint table-fingerprint gate, and the optimized degraded-table
+# reconfiguration tests. See docs/OPTIMIZE.md.
+optimize:
+	$(GO) test -race -count=1 ./internal/optimize/
+	$(GO) test -race -count=1 -run 'Optimize' ./internal/runner/
+	$(GO) test -race -count=1 -run 'RestoreRejectsDifferentTable' ./internal/netsim/
+	$(GO) test -race -count=1 -run 'DegradedRoutingOptimized' ./internal/faults/
+	$(GO) test -race -count=1 -run 'TableFingerprint' ./internal/routes/
+
 # Figure-7 suite wall-clock, sequential vs parallel=NumCPU.
 bench:
 	$(GO) test -bench RunnerParallelFigure7 -benchtime=1x -run '^$$' .
@@ -84,6 +97,14 @@ bench-shards:
 # Records the numbers in BENCH_7.json; finishes in under a minute.
 bench-vc:
 	sh scripts/bench_vc.sh
+
+# Congestion-aware route optimizer on the 8x8 torus under hotspot
+# traffic: static vs optimized tables for UP/DOWN and ITB-RR, recording
+# saturation throughput and knee p99 in BENCH_9.json. Fails if the
+# optimized ITB-RR table does not measurably beat its static p99.
+# Finishes in under a minute.
+bench-optimize:
+	sh scripts/bench_optimize.sh
 
 # CPU + heap profile of a two-point sweep (one low-load point, one near
 # saturation) via the -cpuprofile/-memprofile flags every tool accepts.

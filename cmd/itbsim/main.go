@@ -77,6 +77,11 @@ func main() {
 		if !opt.Faults.Empty() {
 			log.Fatal("-trace and -faults cannot be combined; run the faulted point without -trace")
 		}
+		// The optimizer lives on the runner path (it needs the profiling
+		// pre-pass); the traced direct path cannot honor it.
+		if opt.Optimize != nil {
+			log.Fatal("-trace and -optimize cannot be combined; run the optimized point without -trace")
+		}
 		res, err := experiments.RunOnePoint(env, schemes[0], pat, *load, *cf.Bytes, *cf.Seed,
 			experiments.PointOptions{CollectLinkUtil: *util, Metrics: opt.Metrics, Tracer: tracer, Shards: *cf.Shards})
 		if err != nil {

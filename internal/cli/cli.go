@@ -14,6 +14,7 @@ import (
 	"itbsim/internal/experiments"
 	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
+	"itbsim/internal/optimize"
 	"itbsim/internal/routes"
 	"itbsim/internal/runner"
 )
@@ -149,6 +150,10 @@ type Run struct {
 	Progress *bool
 	Metrics  *string
 	Faults   *string
+	// Optimize and OptimizeStrategy enable the congestion-aware route
+	// optimizer on every curve (see docs/OPTIMIZE.md).
+	Optimize         *bool
+	OptimizeStrategy *string
 	// CheckpointDir, CheckpointEvery and Resume are the crash-safe sweep
 	// journal flags (see docs/CHECKPOINT.md).
 	CheckpointDir   *string
@@ -166,6 +171,10 @@ func AddRun(fs *flag.FlagSet) *Run {
 			"collect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)"),
 		Faults: fs.String("faults", "",
 			"inject faults mid-run: comma-separated link:ID@CYCLE / switch:ID@CYCLE events, + prefix repairs (see docs/FAULTS.md)"),
+		Optimize: fs.Bool("optimize", false,
+			"rewrite each curve's routing table around measured congestion before sweeping: a profiling pre-pass measures link utilization, then a rip-up/reroute pass reroutes the hot routes (see docs/OPTIMIZE.md)"),
+		OptimizeStrategy: fs.String("optimize-strategy", "ripup",
+			"route optimizer for -optimize: ripup (full rip-up/reroute) or escape (OutFlank-style alternative pruning)"),
 		CheckpointDir: fs.String("checkpoint-dir", "",
 			"journal finished jobs and periodic mid-run snapshots to this directory, making the sweep crash-safe (see docs/CHECKPOINT.md)"),
 		CheckpointEvery: fs.Int64("checkpoint-every", 0,
@@ -226,6 +235,8 @@ func (cf *CommonFlags) RejectRunnerFlags(tool string, keepMetrics bool) error {
 		return fmt.Errorf("%s does not run on the experiment runner; -progress is not supported", tool)
 	case *cf.Faults != "":
 		return fmt.Errorf("%s does not support fault injection; -faults is not supported", tool)
+	case *cf.Optimize:
+		return fmt.Errorf("%s does not run on the experiment runner; -optimize is not supported", tool)
 	case *cf.CheckpointDir != "":
 		return fmt.Errorf("%s does not run on the experiment runner; -checkpoint-dir is not supported", tool)
 	case *cf.CheckpointEvery != 0:
@@ -261,6 +272,15 @@ func (r *Run) Options() (experiments.RunOptions, error) {
 			return opt, err
 		}
 		opt.Faults = plan
+	}
+	if *r.Optimize {
+		strat, err := optimize.ParseStrategy(*r.OptimizeStrategy)
+		if err != nil {
+			return opt, err
+		}
+		opt.Optimize = &optimize.Config{Strategy: strat}
+	} else if *r.OptimizeStrategy != "ripup" {
+		return opt, fmt.Errorf("-optimize-strategy requires -optimize")
 	}
 	return opt, nil
 }

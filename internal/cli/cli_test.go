@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"itbsim/internal/experiments"
+	"itbsim/internal/optimize"
 	"itbsim/internal/runner"
 	"itbsim/internal/topology"
 )
@@ -142,6 +143,10 @@ const commonHelp = "  -bytes int\n" +
 	"    \twrite a heap profile to this file on exit\n" +
 	"  -metrics string\n" +
 	"    \tcollect windowed telemetry and write it to this file (.csv for CSV, anything else JSON; schema in docs/METRICS.md)\n" +
+	"  -optimize\n" +
+	"    \trewrite each curve's routing table around measured congestion before sweeping: a profiling pre-pass measures link utilization, then a rip-up/reroute pass reroutes the hot routes (see docs/OPTIMIZE.md)\n" +
+	"  -optimize-strategy string\n" +
+	"    \troute optimizer for -optimize: ripup (full rip-up/reroute) or escape (OutFlank-style alternative pruning) (default \"ripup\")\n" +
 	"  -parallel int\n" +
 	"    \tworker goroutines for independent curves (0 = GOMAXPROCS)\n" +
 	"  -progress\n" +
@@ -205,6 +210,36 @@ func TestCommonFlagsOptionsThreadCheckpointing(t *testing.T) {
 	}
 }
 
+func TestOptimizeFlags(t *testing.T) {
+	options := func(t *testing.T, args ...string) (experiments.RunOptions, error) {
+		t.Helper()
+		fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+		cf := AddCommonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return cf.Options()
+	}
+	opt, err := options(t)
+	if err != nil || opt.Optimize != nil {
+		t.Errorf("default Options().Optimize = %v, %v, want nil", opt.Optimize, err)
+	}
+	opt, err = options(t, "-optimize")
+	if err != nil || opt.Optimize == nil || opt.Optimize.Strategy != optimize.RipUpReroute {
+		t.Errorf("-optimize Options() = %+v, %v, want RipUpReroute config", opt.Optimize, err)
+	}
+	opt, err = options(t, "-optimize", "-optimize-strategy", "escape")
+	if err != nil || opt.Optimize == nil || opt.Optimize.Strategy != optimize.EscapePrune {
+		t.Errorf("-optimize-strategy escape Options() = %+v, %v, want EscapePrune config", opt.Optimize, err)
+	}
+	if _, err = options(t, "-optimize", "-optimize-strategy", "annealing"); err == nil {
+		t.Error("unknown -optimize-strategy accepted")
+	}
+	if _, err = options(t, "-optimize-strategy", "escape"); err == nil {
+		t.Error("-optimize-strategy without -optimize accepted")
+	}
+}
+
 func TestRejectRunnerFlags(t *testing.T) {
 	reject := func(t *testing.T, keepMetrics bool, args ...string) error {
 		t.Helper()
@@ -223,7 +258,7 @@ func TestRejectRunnerFlags(t *testing.T) {
 	}
 	for _, args := range [][]string{
 		{"-parallel", "4"}, {"-json"}, {"-progress"},
-		{"-faults", "link:1@100"}, {"-metrics", "out.json"},
+		{"-faults", "link:1@100"}, {"-metrics", "out.json"}, {"-optimize"},
 		{"-checkpoint-dir", "ckpt"}, {"-checkpoint-every", "1000"}, {"-resume"},
 	} {
 		if err := reject(t, false, args...); err == nil {

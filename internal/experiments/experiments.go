@@ -12,6 +12,7 @@ import (
 	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
+	"itbsim/internal/optimize"
 	"itbsim/internal/routes"
 	"itbsim/internal/runner"
 	"itbsim/internal/stats"
@@ -191,6 +192,12 @@ type RunOptions struct {
 	// scheme's tables (0 keeps the scheme default of 2). Other schemes
 	// ignore it.
 	VCs int
+	// Optimize enables the congestion-aware route optimizer on every
+	// curve: a profiling pre-pass measures link utilization, the
+	// rip-up/reroute (or escape-prune) pass rewrites the routing table
+	// around the hotspots, and the curve sweeps on the optimized table
+	// (see docs/OPTIMIZE.md). Nil sweeps the builder's static tables.
+	Optimize *optimize.Config
 	// CheckpointDir enables the crash-safe sweep journal in that
 	// directory (see docs/CHECKPOINT.md); CheckpointEvery is the
 	// in-flight snapshot period in cycles (0 = the runner default); and
@@ -233,6 +240,7 @@ func SpecFor(e *Env, schemes []routes.Scheme, pats []Pattern, loads []float64, m
 		Reporter:        opt.Reporter,
 		Metrics:         opt.Metrics,
 		Faults:          opt.Faults,
+		Optimize:        opt.Optimize,
 		Shards:          opt.Shards,
 		CheckpointDir:   opt.CheckpointDir,
 		CheckpointEvery: opt.CheckpointEvery,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"itbsim/internal/mapper"
+	"itbsim/internal/optimize"
 	"itbsim/internal/routes"
 	"itbsim/internal/topology"
 )
@@ -51,6 +52,14 @@ type Controller struct {
 	Cfg routes.Config
 	// Salt seeds the prober's switch fingerprints.
 	Salt uint64
+	// Optimize, when non-nil, runs the congestion-aware route optimizer
+	// (internal/optimize) on every recomputed table before it is
+	// translated back to physical IDs, so a degraded fabric comes back
+	// with its remaining capacity balanced, not just connected. The
+	// criticality input is the static estimate — no measured utilization
+	// exists for a topology that just lost links. Memoized
+	// reconfigurations are optimized once, like the rebuild itself.
+	Optimize *optimize.Config
 
 	memo map[string]*Reconfiguration
 }
@@ -111,6 +120,16 @@ func (c *Controller) Recompute(set *Set) (*Reconfiguration, error) {
 	dt, err := routes.Build(d.Net, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("faults: rebuilding %v routes on degraded graph: %w", cfg.Scheme, err)
+	}
+	if c.Optimize != nil {
+		// Optimize on the discovered graph, where cfg.Root still anchors a
+		// valid up*/down* assignment; translation below maps the optimized
+		// routes to physical IDs exactly like unoptimized ones.
+		odt, _, oerr := optimize.Optimize(dt, cfg, optimize.EstimateCriticality(dt), *c.Optimize)
+		if oerr != nil {
+			return nil, fmt.Errorf("faults: optimizing %v routes on degraded graph: %w", cfg.Scheme, oerr)
+		}
+		dt = odt
 	}
 
 	rc := &Reconfiguration{

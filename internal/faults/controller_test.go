@@ -3,6 +3,7 @@ package faults
 import (
 	"testing"
 
+	"itbsim/internal/optimize"
 	"itbsim/internal/routes"
 	"itbsim/internal/topology"
 	"itbsim/internal/updown"
@@ -79,6 +80,44 @@ func TestDegradedRoutingInvariantsSingleLink(t *testing.T) {
 						t.Fatalf("link %d: %v", l, err)
 					}
 					checkDegradedTable(t, net, set, rc)
+				}
+			})
+		}
+	}
+}
+
+// TestDegradedRoutingOptimized runs the reconfiguration controller with the
+// congestion-aware optimizer attached: every invariant of a plain degraded
+// table must survive the optimization pass (routes avoid failed channels,
+// the dependency graph stays acyclic, reachable pairs keep routes), and two
+// controllers given the same fault state must produce identical tables.
+func TestDegradedRoutingOptimized(t *testing.T) {
+	for name, net := range testNets(t) {
+		for _, sch := range []routes.Scheme{routes.UpDown, routes.ITBSP, routes.ITBRR} {
+			t.Run(name+"/"+sch.String(), func(t *testing.T) {
+				links := len(net.Links)
+				if testing.Short() && links > 4 {
+					links = 4
+				}
+				for l := 0; l < links; l++ {
+					recompute := func() *Reconfiguration {
+						ctl := NewController(net, 0, routes.DefaultConfig(sch))
+						ctl.Optimize = &optimize.Config{}
+						set := NewSet(net)
+						set.Apply(Event{Kind: FailLink, ID: l})
+						rc, err := ctl.Recompute(set)
+						if err != nil {
+							t.Fatalf("link %d: %v", l, err)
+						}
+						return rc
+					}
+					set := NewSet(net)
+					set.Apply(Event{Kind: FailLink, ID: l})
+					a, b := recompute(), recompute()
+					checkDegradedTable(t, net, set, a)
+					if a.Table.Fingerprint() != b.Table.Fingerprint() {
+						t.Fatalf("link %d: two optimized reconfigurations disagree", l)
+					}
 				}
 			})
 		}

@@ -19,6 +19,7 @@ var repoDeterministic = map[string]bool{
 	"itbsim/internal/updown":   true,
 	"itbsim/internal/itbroute": true,
 	"itbsim/internal/routes":   true,
+	"itbsim/internal/optimize": true,
 	"itbsim/internal/faults":   true,
 	"itbsim/internal/runner":   true,
 	"itbsim/internal/metrics":  true,
@@ -52,30 +53,35 @@ var repoLayers = map[string]int{
 	"itbsim/internal/mapper":   1,
 	"itbsim/internal/itbroute": 2,
 	"itbsim/internal/routes":   3,
+	// The rip-up/reroute table optimizer rewrites built tables; it sits
+	// below faults so the reconfiguration controller can optimize degraded
+	// tables, and below netsim so it can never reach back into the
+	// simulator (criticality arrives as plain numbers, not a metrics dep).
+	"itbsim/internal/optimize": 4,
 	// Fault state + reconfiguration controller (rebuilds routes).
-	"itbsim/internal/faults": 4,
+	"itbsim/internal/faults": 5,
 	// The simulator core consumes routes, faults and metrics taps. Its
-	// position below runner (7) is load-bearing: per-simulation shard
+	// position below runner (8) is load-bearing: per-simulation shard
 	// workers (Config.Shards) must stay independent of the runner's
 	// per-curve pool, so netsim importing runner is a finding.
-	"itbsim/internal/netsim": 5,
+	"itbsim/internal/netsim": 6,
 	// Workload generation and post-processing over the core.
-	"itbsim/internal/traffic": 6,
-	"itbsim/internal/stats":   6,
-	"itbsim/internal/gm":      6,
+	"itbsim/internal/traffic": 7,
+	"itbsim/internal/stats":   7,
+	"itbsim/internal/gm":      7,
 	// Orchestration.
-	"itbsim/internal/runner":      7,
-	"itbsim/internal/viz":         7,
-	"itbsim/internal/experiments": 8,
-	"itbsim/internal/cli":         9,
+	"itbsim/internal/runner":      8,
+	"itbsim/internal/viz":         8,
+	"itbsim/internal/experiments": 9,
+	"itbsim/internal/cli":         10,
 	// The public facade re-exports the stack.
-	"itbsim": 10,
+	"itbsim": 11,
 }
 
 // repoPrefixLayers puts every command and example at the top of the DAG.
 var repoPrefixLayers = map[string]int{
-	"itbsim/cmd/":      11,
-	"itbsim/examples/": 11,
+	"itbsim/cmd/":      12,
+	"itbsim/examples/": 12,
 }
 
 // repoDocumented lists the packages whose exported surface is treated as

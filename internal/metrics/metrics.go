@@ -255,9 +255,20 @@ func (c *Collector) CloseWindow(cycle int64) {
 }
 
 // rebin halves the series resolution: adjacent windows merge pairwise and
-// the window width doubles, keeping memory bounded on long runs.
+// the window width doubles, keeping memory bounded on long runs. An odd
+// window count leaves a trailing window with no partner; it is carried
+// whole into the last slot of every series (its busy-cycle mass and its
+// sample count survive exactly) rather than halved or dropped, so totals
+// reconcile across rebinning no matter the series length. The carried
+// window then spans half the new width — the same convention as the
+// trailing partial window Finalize flushes at measurement end.
 func (c *Collector) rebin() {
 	half := c.windows / 2
+	odd := c.windows%2 == 1
+	newW := half
+	if odd {
+		newW++
+	}
 	for w := 0; w < half; w++ {
 		a := c.busySeries[(2*w)*c.channels : (2*w+1)*c.channels]
 		b := c.busySeries[(2*w+1)*c.channels : (2*w+2)*c.channels]
@@ -266,18 +277,25 @@ func (c *Collector) rebin() {
 			dst[i] = a[i] + b[i]
 		}
 	}
-	c.busySeries = c.busySeries[:half*c.channels]
+	if odd {
+		copy(c.busySeries[half*c.channels:(half+1)*c.channels],
+			c.busySeries[(2*half)*c.channels:(2*half+1)*c.channels])
+	}
+	c.busySeries = c.busySeries[:newW*c.channels]
 	for _, series := range []*[]uint32{&c.delivSeries, &c.dropSeries, &c.retransSeries} {
 		s := *series
-		if len(s) < 2*half {
+		if len(s) < c.windows {
 			continue // driver does not feed SampleTraffic
 		}
 		for w := 0; w < half; w++ {
 			s[w] = s[2*w] + s[2*w+1]
 		}
-		*series = s[:half]
+		if odd {
+			s[half] = s[2*half]
+		}
+		*series = s[:newW]
 	}
-	if c.numVCs > 0 && len(c.vcOccSeries) >= 2*half*c.numVCs && len(c.vcCount) >= 2*half {
+	if c.numVCs > 0 && len(c.vcOccSeries) >= c.windows*c.numVCs && len(c.vcCount) >= c.windows {
 		for w := 0; w < half; w++ {
 			a := c.vcOccSeries[(2*w)*c.numVCs : (2*w+1)*c.numVCs]
 			b := c.vcOccSeries[(2*w+1)*c.numVCs : (2*w+2)*c.numVCs]
@@ -287,10 +305,15 @@ func (c *Collector) rebin() {
 			}
 			c.vcCount[w] = c.vcCount[2*w] + c.vcCount[2*w+1]
 		}
-		c.vcOccSeries = c.vcOccSeries[:half*c.numVCs]
-		c.vcCount = c.vcCount[:half]
+		if odd {
+			copy(c.vcOccSeries[half*c.numVCs:(half+1)*c.numVCs],
+				c.vcOccSeries[(2*half)*c.numVCs:(2*half+1)*c.numVCs])
+			c.vcCount[half] = c.vcCount[2*half]
+		}
+		c.vcOccSeries = c.vcOccSeries[:newW*c.numVCs]
+		c.vcCount = c.vcCount[:newW]
 	}
-	c.windows = half
+	c.windows = newW
 	c.windowCycles *= 2
 }
 
@@ -435,6 +458,26 @@ type Metrics struct {
 	// last-flit delivery); NetLatency measures from first-flit injection.
 	Latency    *Histogram `json:"-"`
 	NetLatency *Histogram `json:"-"`
+}
+
+// ChannelCriticality extracts the per-channel criticality vector the route
+// optimizer (internal/optimize) consumes: BusyFrac indexed by topology
+// channel ID. Channels absent from the telemetry (never sampled) read 0.
+// It is the bridge from a profiling run's telemetry file back into an
+// optimization pass, the measured counterpart of the optimizer's static
+// load estimate.
+func (m *Metrics) ChannelCriticality() []float64 {
+	maxCh := -1
+	for i := range m.Links {
+		if m.Links[i].Channel > maxCh {
+			maxCh = m.Links[i].Channel
+		}
+	}
+	out := make([]float64, maxCh+1)
+	for i := range m.Links {
+		out[m.Links[i].Channel] = m.Links[i].BusyFrac
+	}
+	return out
 }
 
 // LinkMetrics is one directed switch-to-switch channel's telemetry.

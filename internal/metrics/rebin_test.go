@@ -1,0 +1,136 @@
+package metrics
+
+import "testing"
+
+// sumU32 totals one series.
+func sumU32(s []uint32) uint64 {
+	var t uint64
+	for _, v := range s {
+		t += uint64(v)
+	}
+	return t
+}
+
+// feedWindow drives one complete synthetic window: every channel carries
+// `busyPerWin` more busy cycles than at the last boundary, traffic counters
+// advance by fixed deltas, and each VC lane reports a point sample.
+func feedWindow(c *Collector, w int, busyPerWin int64) {
+	cycle := c.NextSample()
+	for ch := 0; ch < c.channels; ch++ {
+		c.SampleLink(ch, c.busyPrev[ch]+busyPerWin+int64(ch))
+	}
+	for sw := 0; sw < c.switches; sw++ {
+		c.SampleSwitchOcc(sw, 1)
+	}
+	for h := 0; h < c.hosts; h++ {
+		c.SampleHostPool(h, 1)
+	}
+	c.SampleTraffic(c.delivPrev+int64(3+w), c.dropPrev+1, c.retransPrev+2)
+	for vc := 0; vc < c.numVCs; vc++ {
+		c.SampleVCOcc(vc, 5+w+vc)
+	}
+	c.CloseWindow(cycle)
+}
+
+// TestRebinOddTrailingWindowMassConserved is the regression test for the
+// odd-trailing-window rebinning bug: merging windows pairwise used to
+// truncate the series at windows/2, silently discarding the last window's
+// busy-cycle mass, traffic counts, VC occupancy sums, and sample counts
+// whenever the window count was odd. The fix carries the unpaired window
+// whole. The test drives an odd number of windows, rebins directly (the
+// CloseWindow trigger only fires at the even maxWindows bound, so the odd
+// case is reachable through restored or externally driven collectors), and
+// requires every series total to survive exactly.
+func TestRebinOddTrailingWindowMassConserved(t *testing.T) {
+	c := NewCollector(Config{WindowCycles: 64, MaxWindows: 512}, 3, 2, 2)
+	c.EnableVCs(2)
+	c.Start(0)
+	c.PrimeTraffic(100, 10, 20)
+	const windows = 5
+	for w := 0; w < windows; w++ {
+		feedWindow(c, w, 10)
+	}
+	if c.windows != windows {
+		t.Fatalf("drove %d windows, collector has %d", windows, c.windows)
+	}
+
+	busyBefore := sumU32(c.busySeries)
+	delivBefore := sumU32(c.delivSeries)
+	dropBefore := sumU32(c.dropSeries)
+	retransBefore := sumU32(c.retransSeries)
+	vcBefore := sumU32(c.vcOccSeries)
+	countBefore := sumU32(c.vcCount)
+	lastBusy := append([]uint32(nil), c.busySeries[(windows-1)*c.channels:]...)
+	widthBefore := c.windowCycles
+
+	c.rebin()
+
+	if want := windows/2 + 1; c.windows != want {
+		t.Fatalf("rebin of %d windows left %d, want %d (pairs + carried trailing window)", windows, c.windows, want)
+	}
+	if c.windowCycles != 2*widthBefore {
+		t.Errorf("window width %d after rebin, want %d", c.windowCycles, 2*widthBefore)
+	}
+	if got := sumU32(c.busySeries); got != busyBefore {
+		t.Errorf("busy-cycle mass %d after rebin, want %d", got, busyBefore)
+	}
+	if got := sumU32(c.delivSeries); got != delivBefore {
+		t.Errorf("delivered total %d after rebin, want %d", got, delivBefore)
+	}
+	if got := sumU32(c.dropSeries); got != dropBefore {
+		t.Errorf("dropped total %d after rebin, want %d", got, dropBefore)
+	}
+	if got := sumU32(c.retransSeries); got != retransBefore {
+		t.Errorf("retransmit total %d after rebin, want %d", got, retransBefore)
+	}
+	if got := sumU32(c.vcOccSeries); got != vcBefore {
+		t.Errorf("VC occupancy sample mass %d after rebin, want %d", got, vcBefore)
+	}
+	if got := sumU32(c.vcCount); got != countBefore {
+		t.Errorf("VC sample count %d after rebin, want %d", got, countBefore)
+	}
+	// The carried window is the old trailing window verbatim, not a halved
+	// or merged copy.
+	tail := c.busySeries[(c.windows-1)*c.channels:]
+	for i := range tail {
+		if tail[i] != lastBusy[i] {
+			t.Fatalf("carried trailing window channel %d = %d, want %d", i, tail[i], lastBusy[i])
+		}
+	}
+
+	// A second rebin pairs the carried window with its left neighbour and
+	// the totals still reconcile (3 windows -> 2).
+	c.rebin()
+	if c.windows != 2 {
+		t.Fatalf("second rebin left %d windows, want 2", c.windows)
+	}
+	if got := sumU32(c.busySeries); got != busyBefore {
+		t.Errorf("busy-cycle mass %d after second rebin, want %d", got, busyBefore)
+	}
+	if got := sumU32(c.vcCount); got != countBefore {
+		t.Errorf("VC sample count %d after second rebin, want %d", got, countBefore)
+	}
+}
+
+// TestRebinEvenUnchanged pins that the even-count path — the only one the
+// CloseWindow retention trigger exercises — still halves the series shape
+// exactly as before the odd-window fix.
+func TestRebinEvenUnchanged(t *testing.T) {
+	c := NewCollector(Config{WindowCycles: 64, MaxWindows: 512}, 2, 1, 1)
+	c.Start(0)
+	c.PrimeTraffic(0, 0, 0)
+	for w := 0; w < 6; w++ {
+		feedWindow(c, w, 7)
+	}
+	busyBefore := sumU32(c.busySeries)
+	c.rebin()
+	if c.windows != 3 {
+		t.Fatalf("rebin of 6 windows left %d, want 3", c.windows)
+	}
+	if got := sumU32(c.busySeries); got != busyBefore {
+		t.Errorf("busy-cycle mass %d after rebin, want %d", got, busyBefore)
+	}
+	if got, want := len(c.busySeries), 3*c.channels; got != want {
+		t.Errorf("busy series length %d, want %d", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/routes"
+	"itbsim/internal/topology"
 )
 
 // This file is the snapshot/restore codec: a mid-run Sim serializes into a
@@ -161,6 +162,12 @@ func (s *Sim) configHash() uint64 {
 	}
 	w.i(int(s.cfg.Table.Scheme))
 	w.i(s.cfg.Table.NumVCs)
+	// The full routing content, not just the scheme: tables rewritten by
+	// the route optimizer (or recomputed on a degraded topology) route
+	// differently under the same scheme, and a snapshot's in-flight
+	// packets embed route pointers that only make sense under the table
+	// that launched them.
+	w.u64(s.cfg.Table.Fingerprint())
 	w.i64(s.cfg.Seed)
 	w.f64(s.cfg.Load)
 	w.i(s.cfg.MessageBytes)
@@ -743,7 +750,13 @@ func Restore(cfg Config, data []byte) (*Sim, error) {
 		return nil, fmt.Errorf("netsim: checkpoint format version %d, this build reads %d", v, ckptVersion)
 	}
 	if h := r.u64(); r.err == nil && h != s.configHash() {
-		return nil, fmt.Errorf("netsim: checkpoint was written under a different configuration (hash mismatch)")
+		// Typed so callers (and the CLI) can distinguish "wrong experiment"
+		// from a corrupt stream: the most common trigger is resuming with a
+		// differently built routing table — e.g. an optimizer pass on one
+		// side but not the other — which changes the table fingerprint
+		// folded into the hash.
+		return nil, &topology.ConfigError{Field: "Config", Value: fmt.Sprintf("hash %#x, checkpoint %#x", s.configHash(), h),
+			Reason: "checkpoint was written under a different configuration (same network, table, seed, load, parameters and fault plan required)"}
 	}
 	cycle := r.i64()
 
@@ -1431,7 +1444,9 @@ var checkpointExempt = map[string][]string{
 	// plan/rec come from the configuration; set/down/pendingRc/nextWake are
 	// re-derived on restore.
 	"netsim.faultEngine": {"plan", "set", "rec", "down", "pendingRc", "nextWake"},
-	// Net/Scheme/Alts/NumVCs are rebuilt by table construction (and pinned
-	// by the config hash); Snapshot rejects tables with a Selector.
+	// Net/Scheme/Alts/NumVCs are rebuilt by table construction and pinned
+	// by the config hash — which folds in Table.Fingerprint(), so the full
+	// routing content (optimized, degraded, or static) must match, not
+	// just the scheme. Snapshot rejects tables with a Selector.
 	"routes.Table": {"Net", "Scheme", "Alts", "NumVCs", "sel"},
 }

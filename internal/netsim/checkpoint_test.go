@@ -3,11 +3,14 @@ package netsim
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
+	"itbsim/internal/optimize"
 	"itbsim/internal/routes"
+	"itbsim/internal/topology"
 )
 
 // runCheckpointed runs cfg to completion while capturing a snapshot every
@@ -220,6 +223,56 @@ func TestRestoreRejects(t *testing.T) {
 	other.Load = 0.5
 	if _, err := Restore(other, snap); err == nil || !strings.Contains(err.Error(), "different configuration") {
 		t.Errorf("checkpoint accepted under a different load: %v", err)
+	}
+}
+
+// TestRestoreRejectsDifferentTable pins the table-fingerprint gate: a
+// checkpoint written under the static builder table must refuse to restore
+// under an optimizer-rewritten table of the same scheme and shape (and vice
+// versa), with a typed *topology.ConfigError — the snapshot's in-flight
+// packets reference routes only the writing table has.
+func TestRestoreRejectsDifferentTable(t *testing.T) {
+	net := makeNet(t, 4, 4, 2)
+	cfg := shardConfig(t, net, routes.UpDown, false)
+	_, snaps := runCheckpointed(t, cfg, 10_000)
+	snap := snaps[len(snaps)/2]
+
+	resume := shardConfig(t, net, routes.UpDown, false)
+	opt, st, err := optimize.Optimize(resume.Table,
+		routes.DefaultConfig(routes.UpDown),
+		optimize.EstimateCriticality(resume.Table), optimize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted == 0 {
+		t.Fatal("optimizer accepted no moves on the 4x4 torus; the test needs a genuinely different table")
+	}
+	if resume.Table.Fingerprint() == opt.Fingerprint() {
+		t.Fatal("optimized table fingerprints equal to the static table")
+	}
+	resume.Table = opt
+	_, err = Restore(resume, snap)
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("static-table checkpoint accepted under the optimized table: %v", err)
+	}
+	var ce *topology.ConfigError
+	if !errors.As(err, &ce) {
+		t.Errorf("hash-mismatch error is %T, want *topology.ConfigError", err)
+	}
+
+	// The gate is symmetric: write optimized, restore static.
+	wcfg := shardConfig(t, net, routes.UpDown, false)
+	wcfg.Table = opt.Clone()
+	_, osnaps := runCheckpointed(t, wcfg, 10_000)
+	if _, err := Restore(shardConfig(t, net, routes.UpDown, false), osnaps[0]); err == nil {
+		t.Error("optimized-table checkpoint accepted under the static table")
+	}
+	// And an identical rebuild still restores: the fingerprint pins route
+	// content, not pointer identity.
+	rcfg := shardConfig(t, net, routes.UpDown, false)
+	rcfg.Table = opt.Clone()
+	if _, err := Restore(rcfg, osnaps[0]); err != nil {
+		t.Errorf("optimized-table checkpoint refused under an identical table: %v", err)
 	}
 }
 

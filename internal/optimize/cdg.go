@@ -1,0 +1,157 @@
+package optimize
+
+import "sort"
+
+// refCDG is a channel dependency graph with per-edge reference counts, the
+// mutable counterpart of updown.DependencyGraph. The optimizer rips routes
+// out of a live table and puts others back, and several routes typically
+// share a dependency edge — so edge removal must be counted, not absolute:
+// an edge disappears from the deadlock proof only when the last route using
+// it is gone. Admission (tryAdd) is the same incremental acyclicity test the
+// LASH layer assignment uses: a new edge u -> v closes a cycle iff u is
+// already reachable from v.
+type refCDG struct {
+	n   int
+	cnt []map[int]int // cnt[u][v] = number of route segments inducing u -> v
+}
+
+// newRefCDG returns an empty refcounted CDG over n directed channels.
+func newRefCDG(n int) *refCDG {
+	g := &refCDG{n: n, cnt: make([]map[int]int, n)}
+	for i := range g.cnt {
+		g.cnt[i] = make(map[int]int)
+	}
+	return g
+}
+
+// add records the pairwise dependencies of a channel sequence
+// unconditionally. Use it only for sequences already proven safe: restoring
+// a just-removed route, or seeding from a table whose deadlock freedom is
+// established (every segment up*/down*-legal, or a layer CDG checked at
+// build time).
+func (g *refCDG) add(channels []int) {
+	for i := 0; i+1 < len(channels); i++ {
+		g.cnt[channels[i]][channels[i+1]]++
+	}
+}
+
+// remove decrements the pairwise dependencies of a channel sequence,
+// deleting edges whose count reaches zero. The sequence must have been
+// added before.
+func (g *refCDG) remove(channels []int) {
+	for i := 0; i+1 < len(channels); i++ {
+		u, v := channels[i], channels[i+1]
+		if c := g.cnt[u][v]; c <= 1 {
+			delete(g.cnt[u], v)
+		} else {
+			g.cnt[u][v] = c - 1
+		}
+	}
+}
+
+// tryAdd adds the pairwise dependencies of a channel sequence only if the
+// graph stays acyclic, reporting whether it did. On failure the graph is
+// left exactly as it was. Edges that already exist are safe by induction
+// and only gain a reference; each genuinely new edge costs one reachability
+// walk over the current graph.
+func (g *refCDG) tryAdd(channels []int) bool {
+	type edge struct{ u, v int }
+	var bumped []edge
+	rollback := func() {
+		for _, e := range bumped {
+			if c := g.cnt[e.u][e.v]; c <= 1 {
+				delete(g.cnt[e.u], e.v)
+			} else {
+				g.cnt[e.u][e.v] = c - 1
+			}
+		}
+	}
+	for i := 0; i+1 < len(channels); i++ {
+		u, v := channels[i], channels[i+1]
+		if g.cnt[u][v] == 0 {
+			if u == v || g.reaches(v, u) {
+				rollback()
+				return false
+			}
+		}
+		g.cnt[u][v]++
+		bumped = append(bumped, edge{u, v})
+	}
+	return true
+}
+
+// reaches reports whether dst is reachable from src over current edges.
+func (g *refCDG) reaches(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.n)
+	seen[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// The verdict (reachable or not) is independent of visit order,
+		// so ranging the adjacency map directly is safe here.
+		//lint:ignore detrange reachability verdict is order-independent
+		for d := range g.cnt[c] {
+			if d == dst {
+				return true
+			}
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}
+
+// acyclic reports whether the graph has no cycles; the property tests call
+// it on the final state to confirm the incremental admissions composed.
+func (g *refCDG) acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, g.n)
+	type frame struct {
+		node int
+		next []int
+	}
+	neighbours := func(c int) []int {
+		out := make([]int, 0, len(g.cnt[c]))
+		//lint:ignore detrange keys are collected then sorted below before any use
+		for d := range g.cnt[c] {
+			out = append(out, d)
+		}
+		sort.Ints(out)
+		return out
+	}
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start, next: neighbours(start)}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(f.next) == 0 {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			c := f.next[0]
+			f.next = f.next[1:]
+			switch color[c] {
+			case grey:
+				return false
+			case white:
+				color[c] = grey
+				stack = append(stack, frame{node: c, next: neighbours(c)})
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package optimize
+
+import "itbsim/internal/routes"
+
+// EstimateCriticality predicts per-channel criticality from a table's
+// static shape: the expected channel load under uniform traffic, with each
+// ordered switch pair contributing one unit of flow split evenly over its
+// route alternatives, normalized so the hottest channel scores 1. It is the
+// profiling-free fallback — the reconfiguration controller uses it because
+// no measured utilization exists for a topology that just lost links, and
+// the runner falls back to it when a profiling pre-pass is disabled.
+// Measured criticality (metrics.Metrics.ChannelCriticality or a simulation
+// Result's per-channel busy fractions) is preferred when available.
+func EstimateCriticality(tab *routes.Table) []float64 {
+	load := make([]float64, tab.Net.NumChannels())
+	for s := range tab.Alts {
+		for d := range tab.Alts[s] {
+			if s == d {
+				continue
+			}
+			alts := tab.Alts[s][d]
+			if len(alts) == 0 {
+				continue
+			}
+			w := 1 / float64(len(alts))
+			for _, r := range alts {
+				for _, seg := range r.Segs {
+					for _, c := range seg.Channels {
+						load[c] += w
+					}
+				}
+			}
+		}
+	}
+	var max float64
+	for _, v := range load {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range load {
+			load[i] /= max
+		}
+	}
+	return load
+}

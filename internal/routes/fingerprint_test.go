@@ -1,0 +1,61 @@
+package routes
+
+import (
+	"testing"
+
+	"itbsim/internal/topology"
+)
+
+// TestTableFingerprint pins the semantics the checkpoint config hash relies
+// on: equal routing content fingerprints equal (across rebuilds and
+// clones), while a different scheme, a reordered alternative list, or a
+// single rewritten route all change the fingerprint.
+func TestTableFingerprint(t *testing.T) {
+	net, err := topology.NewTorus(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(s Scheme) *Table {
+		tab, err := Build(net, DefaultConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+
+	rr := build(ITBRR)
+	if got, want := build(ITBRR).Fingerprint(), rr.Fingerprint(); got != want {
+		t.Errorf("two identical builds fingerprint differently: %#x vs %#x", got, want)
+	}
+	if got, want := rr.Clone().Fingerprint(), rr.Fingerprint(); got != want {
+		t.Errorf("clone fingerprints differently: %#x vs %#x", got, want)
+	}
+	if build(UpDown).Fingerprint() == rr.Fingerprint() {
+		t.Error("UP/DOWN and ITB-RR tables fingerprint equal")
+	}
+
+	// Reorder one pair's alternatives: same routes, different table.
+	alts := make([][][]*Route, len(rr.Alts))
+	swapped := false
+	for s := range rr.Alts {
+		alts[s] = make([][]*Route, len(rr.Alts[s]))
+		for d := range rr.Alts[s] {
+			row := append([]*Route(nil), rr.Alts[s][d]...)
+			if !swapped && len(row) >= 2 {
+				row[0], row[1] = row[1], row[0]
+				swapped = true
+			}
+			alts[s][d] = row
+		}
+	}
+	if !swapped {
+		t.Fatal("ITB-RR table has no pair with two alternatives")
+	}
+	reordered, err := NewTable(net, ITBRR, alts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered.Fingerprint() == rr.Fingerprint() {
+		t.Error("reordering a pair's alternatives did not change the fingerprint")
+	}
+}

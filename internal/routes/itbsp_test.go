@@ -1,0 +1,70 @@
+package routes
+
+import (
+	"testing"
+
+	"itbsim/internal/topology"
+)
+
+// capHostsNet is the fabric of the MinimalSplits cap regression seen from
+// the table builder: eleven parallel minimal paths between switches 1 and
+// 2, the first ten (in port order) breaking at host-less intermediates and
+// only the eleventh legal end to end.
+func capHostsNet(t *testing.T) *topology.Network {
+	t.Helper()
+	b := topology.NewBuilder("capbias-hosts", 14, 16)
+	b.AddLink(0, 13)
+	for i := 3; i <= 12; i++ {
+		b.AddLink(1, i)
+	}
+	b.AddLink(1, 13)
+	for i := 3; i <= 13; i++ {
+		b.AddLink(2, i)
+	}
+	for _, sw := range []int{0, 1, 2, 13} {
+		b.AddHost(sw)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestITBBuildSurvivesCapBias pins, end to end through Build, the
+// MinimalSplits cap fix: before it, both ITB schemes failed to build a
+// table on this valid fabric ("no splittable minimal path 1 -> 2") because
+// the default MaxAlternatives window truncated the raw enumeration before
+// the one splittable path was reached. The built route must be the legal
+// 0-ITB path, and building twice must give identical alternatives (the
+// selection is input-order driven, not a traversal accident).
+func TestITBBuildSurvivesCapBias(t *testing.T) {
+	net := capHostsNet(t)
+	for _, scheme := range []Scheme{ITBSP, ITBRR} {
+		tab, err := Build(net, DefaultConfig(scheme))
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		alts := tab.Alternatives(1, 2)
+		if len(alts) != 1 {
+			t.Fatalf("%v: %d alternatives for 1->2, want the single splittable path", scheme, len(alts))
+		}
+		if r := alts[0]; r.NumITBs() != 0 || r.Hops != 2 {
+			t.Errorf("%v: route 1->2 has %d ITBs over %d hops, want the 0-ITB 2-hop path", scheme, r.NumITBs(), r.Hops)
+		}
+		again, err := Build(net, DefaultConfig(scheme))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range tab.Alts {
+			for d := range tab.Alts[s] {
+				if len(tab.Alts[s][d]) != len(again.Alts[s][d]) {
+					t.Fatalf("%v: rebuild changed the alternative count for %d->%d", scheme, s, d)
+				}
+			}
+		}
+	}
+}

@@ -15,7 +15,9 @@
 package routes
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"itbsim/internal/itbroute"
 	"itbsim/internal/topology"
@@ -295,6 +297,17 @@ func Build(net *topology.Network, cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// FromSplit converts a minimal-split switch path into a Route, choosing an
+// in-transit host at every break switch exactly as Build does; the salt
+// rotates the host choice so a break switch's NICs share the re-injection
+// load (Build passes src*31+dst*17+altIndex). It exists for callers that
+// rebuild individual routes outside Build — the rip-up/reroute optimizer —
+// and performs the same structural checks, failing if a break switch has
+// no hosts.
+func FromSplit(net *topology.Network, sp itbroute.Split, salt int) (*Route, error) {
+	return routeFromSplitWithHosts(net, sp, salt)
+}
+
 // routeFromSplit converts a split with no ITB hosts assigned (single
 // segment) to a Route.
 func routeFromSplit(net *topology.Network, sp itbroute.Split) (*Route, error) {
@@ -393,6 +406,48 @@ func (t *Table) Clone() *Table {
 		c.sel = t.sel.Clone()
 	}
 	return c
+}
+
+// Fingerprint digests the table's full routing content — scheme, layer
+// count, and every alternative's switches, segments, in-transit hosts,
+// channels and VC lane, in pair-then-alternative order — into one 64-bit
+// value. Two tables fingerprint equal exactly when they route identically,
+// so a checkpoint header can detect a resumed run whose table was built,
+// optimized, or degraded differently even though scheme and shape agree.
+// Selection state (round-robin cursors, selectors) is excluded: it is
+// mid-run state, snapshotted separately.
+func (t *Table) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		//lint:ignore errcheck-lite hash.Hash.Write is documented to never return an error
+		h.Write(scratch[:])
+	}
+	word(uint64(t.Scheme))
+	word(uint64(t.NumVCs))
+	word(uint64(len(t.Alts)))
+	for s := range t.Alts {
+		for d := range t.Alts[s] {
+			word(uint64(len(t.Alts[s][d])))
+			for _, r := range t.Alts[s][d] {
+				word(uint64(r.SrcSwitch))
+				word(uint64(r.DstSwitch))
+				word(uint64(r.Hops))
+				word(uint64(r.AltIndex))
+				word(uint64(r.VC))
+				word(uint64(len(r.Segs)))
+				for _, seg := range r.Segs {
+					word(uint64(int64(seg.ITBHost)))
+					word(uint64(len(seg.Channels)))
+					for _, c := range seg.Channels {
+						word(uint64(c))
+					}
+				}
+			}
+		}
+	}
+	return h.Sum64()
 }
 
 // RRSnapshot returns a deep copy of the per-source-host round-robin cursors

@@ -28,6 +28,7 @@ import (
 	"itbsim/internal/faults"
 	"itbsim/internal/metrics"
 	"itbsim/internal/netsim"
+	"itbsim/internal/optimize"
 	"itbsim/internal/routes"
 	"itbsim/internal/stats"
 	"itbsim/internal/topology"
@@ -98,6 +99,20 @@ type Spec struct {
 
 	// Params overrides the Myrinet timing constants; zero means defaults.
 	Params netsim.Params
+
+	// Optimize, when non-nil, runs the congestion-aware rip-up/reroute
+	// pass (internal/optimize) on every job's routing table before its
+	// load walk: a short profiling simulation at Optimize.ProfileLoad
+	// (0 = the sweep's top load) measures per-channel utilization, the
+	// optimizer reroutes around the measured hotspots, and the job sweeps
+	// on the optimized table. With a fault plan, the job's reconfiguration
+	// controller applies the same optimizer (on a static criticality
+	// estimate) to every degraded table it recomputes. Optimized tables
+	// are private to the job — the shared TableCache keeps the pristine
+	// builds — and results stay byte-identical at every Parallel and
+	// Shards count: the profiling seed derives from the job's stable
+	// coordinates alone.
+	Optimize *optimize.Config
 
 	// Faults schedules link/switch failures (and repairs) on every load
 	// point of every job; each job gets its own reconfiguration
@@ -218,6 +233,11 @@ func (s Spec) normalized() (Spec, []Job, error) {
 				return s, nil, &topology.ConfigError{Field: "Schemes", Value: sch.String(),
 					Reason: "the VC scheme excludes Faults; drop the fault plan or sweep the VC curve separately"}
 			}
+		}
+	}
+	if s.Optimize != nil {
+		if err := s.Optimize.Validate(); err != nil {
+			return s, nil, err
 		}
 	}
 	if s.CheckpointEvery < 0 {
@@ -463,6 +483,72 @@ func (s *Spec) executeJob(j Job, reporter *lockedReporter, jl *journal, done map
 	return cr
 }
 
+// defaultProfileCycles caps the optimizer's profiling pre-pass when the
+// spec does not set Optimize.ProfileCycles: long enough for utilization
+// to settle on the fabrics this repo sweeps, far shorter than a full
+// load point.
+const defaultProfileCycles = 200_000
+
+// optimizeTable runs the congestion-aware optimizer for one job: a short
+// profiling simulation on the pristine table measures per-channel busy
+// fractions, which become the criticality input of the rip-up/reroute
+// (or escape-prune) pass. The profiling seed derives from the job's
+// stable coordinates with point -1 — a coordinate no real load point
+// uses — so the optimized table, and every result computed on it, is
+// identical at every Parallel and Shards count. Profiling always runs on
+// the healthy fabric: degraded tables are optimized by the job's
+// reconfiguration controller instead, from a static estimate.
+func (s *Spec) optimizeTable(j Job, table *routes.Table, dest netsim.DestFn) (*routes.Table, error) {
+	ocfg := *s.Optimize
+	load := ocfg.ProfileLoad
+	if load == 0 {
+		for _, l := range s.Loads {
+			if l > load {
+				load = l
+			}
+		}
+	}
+	maxCycles := int64(ocfg.ProfileCycles)
+	if maxCycles == 0 {
+		maxCycles = defaultProfileCycles
+	}
+	cfg := netsim.Config{
+		Net:             s.Net,
+		Table:           table.Clone(),
+		Dest:            dest,
+		Load:            load,
+		MessageBytes:    s.MessageBytes,
+		Seed:            s.pointSeed(j, -1),
+		WarmupMessages:  s.WarmupMessages,
+		MeasureMessages: s.MeasureMessages,
+		MaxCycles:       maxCycles,
+		CollectLinkUtil: true,
+		Params:          s.Params,
+		Shards:          s.Shards,
+	}
+	res, err := netsim.RunContext(s.Context, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("runner: optimize profiling pre-pass: %w", err)
+	}
+	crit := append([]float64(nil), res.LinkBusy...)
+	var peak float64
+	for _, v := range crit {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak > 0 {
+		for i := range crit {
+			crit[i] /= peak
+		}
+	}
+	opt, _, err := optimize.Optimize(table, s.RouteConfig(j.Scheme), crit, ocfg)
+	if err != nil {
+		return nil, fmt.Errorf("runner: optimizing %s table: %w", j.Scheme, err)
+	}
+	return opt, nil
+}
+
 // runJob walks one curve's load grid in order, early-stopping past
 // saturation. With a journal it also checkpoints the walk: each point's
 // simulation periodically snapshots into <dir>/job-<index>.ckpt alongside
@@ -484,20 +570,29 @@ func (s *Spec) runJob(j Job, reporter *lockedReporter, jl *journal) CurveResult 
 			return cr
 		}
 	}
-	cr.TableBuild = time.Since(buildStart) //lint:ignore noclock wall-clock bookkeeping only
-
 	dest, err := j.Pattern.DestFn(s.Net)
 	if err != nil {
 		cr.Err = err
 		return cr
 	}
 
+	if s.Optimize != nil {
+		table, err = s.optimizeTable(j, table, dest)
+		if err != nil {
+			cr.Err = err
+			return cr
+		}
+	}
+	cr.TableBuild = time.Since(buildStart) //lint:ignore noclock wall-clock bookkeeping only
+
 	// Each job owns one reconfiguration controller: jobs run on separate
 	// goroutines (the controller memo is not locked), while the load
 	// points within a job share memoized degraded-table builds.
 	var reconf netsim.Reconfigurer
 	if !s.Faults.Empty() {
-		reconf = faults.NewController(s.Net, s.FaultMapperHost, s.RouteConfig(j.Scheme))
+		ctrl := faults.NewController(s.Net, s.FaultMapperHost, s.RouteConfig(j.Scheme))
+		ctrl.Optimize = s.Optimize
+		reconf = ctrl
 	}
 
 	// On resume, load the job's in-flight checkpoint: the points finished
