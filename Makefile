@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test lint docs race race-determinism faults checkpoint optimize bench bench-lowload bench-shards bench-vc bench-optimize profile clean
+.PHONY: all build vet test lint lint-alloc lint-alloc-baseline docs race race-determinism faults checkpoint optimize bench bench-lowload bench-shards bench-vc bench-optimize profile clean
 
 all: build vet test lint
 
@@ -11,14 +11,27 @@ vet:
 	$(GO) vet ./...
 
 # Static invariants: cmd/simlint proves the determinism and layering
-# contracts (no map ranges or wall clock in deterministic packages, the
-# package DAG, dropped errors, exact float compares) and checks every
+# contracts (no map ranges or wall clock in deterministic packages — also
+# interprocedurally, via the call-graph taint rule), shard-safety of the
+# worker phases, checkpoint field coverage, switch exhaustiveness, the
+# package DAG, dropped errors, and exact float compares, and checks every
 # relative markdown link/anchor (the former cmd/mdlint). The gofmt check
 # keeps the tree format-clean; vet runs first. See docs/LINT.md.
 lint: vet
 	$(GO) run ./cmd/simlint .
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+# Hot-path allocation gate: parses `go build -gcflags=-m` escape output
+# and fails when a //sim:hotpath function gains a heap allocation not in
+# the checked-in baseline (internal/lint/hotalloc.baseline). The build
+# cache replays compiler diagnostics, so repeat runs are cheap.
+lint-alloc:
+	$(GO) run ./cmd/simlint -alloc .
+
+# Regenerate the hotalloc baseline after a deliberate change.
+lint-alloc-baseline:
+	$(GO) run ./cmd/simlint -alloc-update .
 
 # Former name of the lint target, kept as an alias.
 docs: lint

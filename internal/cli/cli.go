@@ -116,6 +116,7 @@ func (p *Profile) Start() (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			//lint:ignore errcheck-lite cleanup on the error path; the StartCPUProfile error is what the caller needs
 			_ = cpuFile.Close()
 			return nil, err
 		}
@@ -134,6 +135,7 @@ func (p *Profile) Start() (stop func() error, err error) {
 			}
 			runtime.GC() // up-to-date allocation data
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				//lint:ignore errcheck-lite cleanup on the error path; the WriteHeapProfile error is what the caller needs
 				_ = f.Close()
 				return err
 			}
@@ -306,6 +308,7 @@ func WriteMetricsFile(path string, points []metrics.ExportPoint) error {
 		return err
 	}
 	if err := metrics.WriteFile(f, path, points); err != nil {
+		//lint:ignore errcheck-lite cleanup on the error path; the write error is what the caller needs
 		_ = f.Close()
 		return err
 	}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// CkptCover is the static counterpart of netsim's
+// TestCheckpointFieldCoverage. The checkpoint codec declares its coverage
+// in two map literals — checkpointFields (what the codec serializes) and
+// checkpointExempt (what is deliberately rebuilt or provably empty at a
+// boundary) — and the reflection test cross-checks them against the live
+// struct definitions at test time. That is after the fact: the diff that
+// adds a Sim field ships, and the failure appears when tests run. This
+// rule performs the same cross-check from source, so `make lint` fails on
+// the diff itself, with the finding placed on the new field:
+//
+//	sim.go:123:2 ckptcover: field netsim.Sim.newThing is neither
+//	serialized by the checkpoint codec nor exempted …
+//
+// It also flags the reverse drifts the test catches — stale entries
+// naming fields that no longer exist, a field listed as both serialized
+// and exempt, duplicate entries — and unresolvable type keys, so a typo
+// in the maps cannot silently shrink coverage. The checked type set is
+// exactly the union of the two maps' keys; which types must appear there
+// at all remains the reflection test's job (it walks the codec).
+type CkptCover struct {
+	// Pkg is the import path of the package holding the coverage maps.
+	Pkg string
+	// FieldsVar and ExemptVar name the two map[string][]string literals.
+	FieldsVar string
+	ExemptVar string
+}
+
+// Name implements Rule.
+func (CkptCover) Name() string { return "ckptcover" }
+
+// Doc implements Rule.
+func (CkptCover) Doc() string {
+	return "struct field missing from (or stale in) the checkpoint coverage maps"
+}
+
+// Check implements Rule; the work happens in CheckModule.
+func (CkptCover) Check(*Package) []Finding { return nil }
+
+// coverEntry is one parsed "field" string literal with its position.
+type coverEntry struct {
+	name string
+	pos  token.Pos
+}
+
+// CheckModule implements ModuleRule.
+func (r CkptCover) CheckModule(pkgs []*Package) []Finding {
+	var pkg *Package
+	for _, p := range pkgs {
+		if p.Path == r.Pkg {
+			pkg = p
+			break
+		}
+	}
+	if pkg == nil {
+		return []Finding{{Pos: token.Position{Filename: "ckptcover(config)"}, Rule: r.Name(),
+			Message: fmt.Sprintf("package %q not loaded; update the rule configuration", r.Pkg)}}
+	}
+
+	var out []Finding
+	serialized, ok1 := r.parseCoverMap(pkg, r.FieldsVar, &out)
+	exempt, ok2 := r.parseCoverMap(pkg, r.ExemptVar, &out)
+	if !ok1 || !ok2 {
+		return out
+	}
+
+	keys := map[string]bool{}
+	for k := range serialized {
+		keys[k] = true
+	}
+	for k := range exempt {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, key := range sorted {
+		ser, exm := serialized[key], exempt[key]
+		keyPos := ser.keyPos
+		if !keyPos.IsValid() {
+			keyPos = exm.keyPos
+		}
+		st := resolveCoverKey(pkg, key)
+		if st == nil {
+			out = append(out, Finding{Pos: pkg.Fset.Position(keyPos), Rule: r.Name(),
+				Message: fmt.Sprintf("type key %q does not resolve to a struct type visible from %s", key, pkg.Path)})
+			continue
+		}
+		fields := map[string]token.Pos{}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			fields[f.Name()] = f.Pos()
+		}
+		have := map[string]bool{}
+		for _, lists := range []struct {
+			entries []coverEntry
+			label   string
+		}{{ser.entries, "serialized"}, {exm.entries, "exempt"}} {
+			seen := map[string]bool{}
+			for _, e := range lists.entries {
+				if seen[e.name] {
+					out = append(out, Finding{Pos: pkg.Fset.Position(e.pos), Rule: r.Name(),
+						Message: fmt.Sprintf("duplicate entry %q for %s", e.name, key)})
+					continue
+				}
+				seen[e.name] = true
+				if _, exists := fields[e.name]; !exists {
+					out = append(out, Finding{Pos: pkg.Fset.Position(e.pos), Rule: r.Name(),
+						Message: fmt.Sprintf("stale entry: %s has no field %q; remove it from the %s list", key, e.name, lists.label)})
+					continue
+				}
+				if lists.label == "exempt" && have[e.name] {
+					out = append(out, Finding{Pos: pkg.Fset.Position(e.pos), Rule: r.Name(),
+						Message: fmt.Sprintf("field %s.%s is listed as both serialized and exempt; pick one", key, e.name)})
+					continue
+				}
+				have[e.name] = true
+			}
+		}
+		fieldNames := make([]string, 0, len(fields))
+		for name := range fields {
+			fieldNames = append(fieldNames, name)
+		}
+		sort.Strings(fieldNames)
+		for _, name := range fieldNames {
+			if !have[name] {
+				out = append(out, Finding{Pos: pkg.Fset.Position(fields[name]), Rule: r.Name(),
+					Message: fmt.Sprintf("field %s.%s is neither serialized by the checkpoint codec nor exempted; add it to %s or %s (with a rebuild/empty-at-boundary justification)",
+						key, name, r.FieldsVar, r.ExemptVar)})
+			}
+		}
+	}
+	return out
+}
+
+// coverList is the parsed value for one type key of one coverage map.
+type coverList struct {
+	keyPos  token.Pos
+	entries []coverEntry
+}
+
+// parseCoverMap locates `var <name> = map[string][]string{...}` in pkg and
+// parses it entry by entry. Non-literal keys or elements are findings:
+// the rule can only vouch for coverage it can read statically.
+func (r CkptCover) parseCoverMap(pkg *Package, name string, out *[]Finding) (map[string]coverList, bool) {
+	var lit *ast.CompositeLit
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) {
+						lit, _ = vs.Values[i].(*ast.CompositeLit)
+					}
+				}
+			}
+		}
+	}
+	if lit == nil {
+		*out = append(*out, Finding{Pos: token.Position{Filename: "ckptcover(config)"}, Rule: r.Name(),
+			Message: fmt.Sprintf("map literal %q not found in %s; update the rule configuration", name, r.Pkg)})
+		return nil, false
+	}
+	m := map[string]coverList{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := stringLit(kv.Key)
+		if !ok {
+			*out = append(*out, Finding{Pos: pkg.Fset.Position(kv.Key.Pos()), Rule: r.Name(),
+				Message: fmt.Sprintf("non-literal key in %s; the coverage maps must be statically readable", name)})
+			continue
+		}
+		if _, dup := m[key]; dup {
+			*out = append(*out, Finding{Pos: pkg.Fset.Position(kv.Key.Pos()), Rule: r.Name(),
+				Message: fmt.Sprintf("duplicate type key %q in %s", key, name)})
+			continue
+		}
+		list := coverList{keyPos: kv.Key.Pos()}
+		val, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			*out = append(*out, Finding{Pos: pkg.Fset.Position(kv.Value.Pos()), Rule: r.Name(),
+				Message: fmt.Sprintf("non-literal field list for %q in %s; the coverage maps must be statically readable", key, name)})
+			continue
+		}
+		for _, fe := range val.Elts {
+			fname, ok := stringLit(fe)
+			if !ok {
+				*out = append(*out, Finding{Pos: pkg.Fset.Position(fe.Pos()), Rule: r.Name(),
+					Message: fmt.Sprintf("non-literal field name for %q in %s", key, name)})
+				continue
+			}
+			list.entries = append(list.entries, coverEntry{name: fname, pos: fe.Pos()})
+		}
+		m[key] = list
+	}
+	return m, true
+}
+
+// stringLit extracts the value of a string basic literal.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// resolveCoverKey resolves a "pkgname.Type" key against pkg's own scope
+// (when pkgname matches) or its direct imports, returning the struct's
+// type, or nil.
+func resolveCoverKey(pkg *Package, key string) *types.Struct {
+	dot := -1
+	for i, c := range key {
+		if c == '.' {
+			dot = i
+			break
+		}
+	}
+	if dot < 0 {
+		return nil
+	}
+	short, typeName := key[:dot], key[dot+1:]
+	var scope *types.Scope
+	if short == pkg.Types.Name() {
+		scope = pkg.Types.Scope()
+	} else {
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == short {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	if scope == nil {
+		return nil
+	}
+	tn, ok := scope.Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, _ := tn.Type().Underlying().(*types.Struct)
+	return st
+}

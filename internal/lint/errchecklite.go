@@ -3,17 +3,23 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// ErrCheckLite flags statement-level calls whose error result is silently
-// dropped. Unlike the full errcheck tool it checks only expression
-// statements — `defer f.Close()` and error results consumed by
-// assignment (including the explicit `_ =` shrug) are left alone — which
-// keeps it precise enough to run with zero configuration on every
+// ErrCheckLite flags calls whose error result is silently dropped: a call
+// used as a bare expression statement, or one whose results are assigned
+// entirely to blank identifiers (`_ = f()`, `_, _ = g()`). The blank
+// assignment reads as deliberate but communicates nothing — was Close
+// known not to matter here, or was the error just inconvenient? — so it
+// is held to the same standard as the bare statement: handle the error,
+// or annotate the line with //lint:ignore errcheck-lite and a reason.
+// Unlike the full errcheck tool, `defer f.Close()` and assignments that
+// bind at least one result to a real variable are left alone, which
+// keeps the rule precise enough to run with zero configuration on every
 // package of the module. Calls on the Allow list (best-effort terminal
 // output, strings.Builder writes that are documented never to fail) are
-// exempt; anything else is either handled or annotated.
+// exempt.
 type ErrCheckLite struct {
 	// Allow holds *types.Func full names (as per (*types.Func).FullName,
 	// e.g. "fmt.Fprintf" or "(*strings.Builder).WriteString") whose
@@ -45,7 +51,7 @@ var DefaultErrCheckAllow = map[string]bool{
 
 func (ErrCheckLite) Name() string { return "errcheck-lite" }
 func (ErrCheckLite) Doc() string {
-	return "statement-level call whose error result is dropped"
+	return "call whose error result is dropped (bare statement or all-blank assignment)"
 }
 
 func (r ErrCheckLite) Check(pkg *Package) []Finding {
@@ -65,33 +71,50 @@ func (r ErrCheckLite) Check(pkg *Package) []Finding {
 		return types.Identical(t, errType)
 	}
 
+	report := func(call *ast.CallExpr, how string) *Finding {
+		tv, ok := pkg.Info.Types[call]
+		if !ok || tv.IsType() || !returnsError(tv.Type) {
+			return nil
+		}
+		name := calleeName(pkg, call)
+		if r.Allow[name] {
+			return nil
+		}
+		if name == "" {
+			name = "call"
+		}
+		return &Finding{
+			Pos:     pkg.Fset.Position(call.Pos()),
+			Rule:    r.Name(),
+			Message: fmt.Sprintf("error result of %s is %s; handle it or annotate why it cannot matter", name, how),
+		}
+	}
+
 	var out []Finding
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			st, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if f := report(call, "dropped"); f != nil {
+						out = append(out, *f)
+					}
+				}
+			case *ast.AssignStmt:
+				if st.Tok != token.ASSIGN || len(st.Rhs) != 1 {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+					if f := report(call, "discarded via _ ="); f != nil {
+						out = append(out, *f)
+					}
+				}
 			}
-			call, ok := st.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			tv, ok := pkg.Info.Types[call]
-			if !ok || tv.IsType() || !returnsError(tv.Type) {
-				return true
-			}
-			name := calleeName(pkg, call)
-			if r.Allow[name] {
-				return true
-			}
-			if name == "" {
-				name = "call"
-			}
-			out = append(out, Finding{
-				Pos:     pkg.Fset.Position(call.Pos()),
-				Rule:    r.Name(),
-				Message: fmt.Sprintf("error result of %s is dropped; handle it or assign to _", name),
-			})
 			return true
 		})
 	}

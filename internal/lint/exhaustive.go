@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks switches over the module's enum-like types. The
+// simulator leans on small closed enums — drop reasons, trace event
+// kinds, routing scheme kinds, optimizer strategies, checkpoint section
+// tags — and a switch that silently falls through when a new constant is
+// added is how a new drop reason ends up uncounted or a new section tag
+// unreadable. A switch whose tag's type is a named module type with a
+// basic underlying kind and at least one declared package-level constant
+// of exactly that type must either list every such constant among its
+// cases or carry a default clause.
+//
+// Sentinel constants (numDropReasons-style counters) are deliberately not
+// special-cased: a switch is complete when it handles them too or says
+// what everything-else means with a default. Switches with non-constant
+// case expressions are skipped — completeness cannot be decided
+// statically. Suppress a deliberate partial switch at the switch line:
+//
+//	//lint:ignore exhaustive remaining kinds handled by caller
+type Exhaustive struct {
+	// Module restricts checked tag types to those declared in this module
+	// (stdlib enums like time.Month are out of scope).
+	Module string
+}
+
+// Name implements Rule.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Doc implements Rule.
+func (Exhaustive) Doc() string {
+	return "switch over an enum-like module type missing constants and default"
+}
+
+// Check implements Rule.
+func (r Exhaustive) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !r.inModule(obj.Pkg().Path()) {
+				return true
+			}
+			if _, basic := named.Underlying().(*types.Basic); !basic {
+				return true
+			}
+			consts := enumConsts(named)
+			if len(consts) == 0 {
+				return true
+			}
+
+			covered := map[string]bool{}
+			decidable := true
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					etv, ok := pkg.Info.Types[e]
+					if !ok || etv.Value == nil {
+						decidable = false
+						continue
+					}
+					covered[etv.Value.ExactString()] = true
+				}
+			}
+			if hasDefault || !decidable {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(sw.Switch),
+				Rule: r.Name(),
+				Message: fmt.Sprintf("switch over %s.%s is not exhaustive: missing %s; add the cases or a default",
+					obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", ")),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func (r Exhaustive) inModule(path string) bool {
+	return path == r.Module || strings.HasPrefix(path, r.Module+"/")
+}
+
+// enumConsts returns the package-level constants declared with exactly
+// the named type, sorted by value then name. Distinct names for the same
+// value (aliases) both count as covered when either appears in a case.
+func enumConsts(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Val(), out[j].Val()
+		if constant.Compare(ci, token.NEQ, cj) {
+			// For ordered kinds sort by value; strings compare fine too.
+			return constant.Compare(ci, token.LSS, cj)
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	// Dedupe by value so aliases produce one missing entry, named after
+	// the first declaration.
+	seen := map[string]bool{}
+	uniq := out[:0]
+	for _, c := range out {
+		key := c.Val().ExactString()
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}

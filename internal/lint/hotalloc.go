@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the lint-alloc gate: a check that functions
+// annotated //sim:hotpath — the per-cycle step path, the link pipelines,
+// the packet arena — do not silently gain heap allocations. GC pressure
+// on the flit hot path was the motivation for the arena and
+// struct-of-arrays work (PR 4/6), and a single `&thing{}` that starts
+// escaping undoes it without failing any test.
+//
+// The gate shells out to the real compiler (`go build -gcflags=-m ./...`)
+// and parses its escape-analysis diagnostics. The Go build cache replays
+// these diagnostics on cached builds, so the gate is reliable — and fast —
+// without forced rebuilds. Each "escapes to heap" / "moved to heap" event
+// inside a hotpath function becomes a site keyed by (function, message);
+// the multiset of sites is compared against a checked-in baseline
+// (internal/lint/hotalloc.baseline). A site that appears or multiplies is
+// a finding at the allocation; a baseline entry no longer produced is a
+// finding too, so the baseline cannot rot. `simlint -alloc-update`
+// regenerates the file after a deliberate change.
+//
+// Sites are keyed by message rather than line number so that unrelated
+// edits shifting a function downward do not churn the baseline; two
+// allocations with identical messages in one function are distinguished
+// by count.
+
+// AllocEvent is one escape-analysis diagnostic from the compiler.
+type AllocEvent struct {
+	File    string // as printed by go build, slash-separated
+	Line    int
+	Col     int
+	Message string
+}
+
+// AllocSite identifies an allocation for baseline purposes: the hotpath
+// function's full name and the compiler's message.
+type AllocSite struct {
+	Func    string
+	Message string
+}
+
+// ParseEscapeOutput extracts heap-allocation events from `go build
+// -gcflags=-m` output, dropping the "does not escape" and inlining noise.
+func ParseEscapeOutput(out []byte) []AllocEvent {
+	var events []AllocEvent
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		loc, msg, ok := strings.Cut(line, ": ")
+		if !ok {
+			continue
+		}
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		parts := strings.Split(loc, ":")
+		if len(parts) < 3 {
+			continue
+		}
+		l, err1 := strconv.Atoi(parts[len(parts)-2])
+		c, err2 := strconv.Atoi(parts[len(parts)-1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := filepath.ToSlash(strings.Join(parts[:len(parts)-2], ":"))
+		events = append(events, AllocEvent{File: file, Line: l, Col: c, Message: msg})
+	}
+	return events
+}
+
+// lineRange is the source extent of one hotpath function.
+type lineRange struct {
+	start, end int
+	fn         string
+}
+
+// HotpathAllocs attributes events to //sim:hotpath functions by file and
+// line containment. It returns the site multiset plus, per site, the
+// first event (for finding positions). Events outside hotpath functions
+// are ignored — the gate is opt-in by annotation.
+func HotpathAllocs(pkgs []*Package, prog *Program, events []AllocEvent) (map[AllocSite]int, map[AllocSite]AllocEvent) {
+	p := prog.At(pkgs)
+	ranges := map[string][]lineRange{}
+	for fn, anns := range p.Ann.byFunc {
+		hot := false
+		for _, a := range anns {
+			if a.Verb == "hotpath" {
+				hot = true
+			}
+		}
+		node := p.CG.Node(fn)
+		if !hot || node == nil {
+			continue
+		}
+		start := node.Pkg.Fset.Position(node.Decl.Pos())
+		end := node.Pkg.Fset.Position(node.Decl.End())
+		file := filepath.ToSlash(start.Filename)
+		ranges[file] = append(ranges[file], lineRange{start: start.Line, end: end.Line, fn: fn.FullName()})
+	}
+	counts := map[AllocSite]int{}
+	first := map[AllocSite]AllocEvent{}
+	for _, ev := range events {
+		for _, r := range ranges[ev.File] {
+			if ev.Line < r.start || ev.Line > r.end {
+				continue
+			}
+			site := AllocSite{Func: r.fn, Message: ev.Message}
+			counts[site]++
+			if _, ok := first[site]; !ok {
+				first[site] = ev
+			}
+			break
+		}
+	}
+	return counts, first
+}
+
+// CompareAllocs diffs the current site multiset against the baseline.
+// New or multiplied sites are findings at the allocation; vanished
+// baseline entries are findings at the baseline file, so stale entries
+// are cleaned up rather than masking a future regression.
+func CompareAllocs(current map[AllocSite]int, first map[AllocSite]AllocEvent, baseline map[AllocSite]int, baselinePath string) []Finding {
+	var out []Finding
+	sites := make([]AllocSite, 0, len(current))
+	for s := range current {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Func != sites[j].Func {
+			return sites[i].Func < sites[j].Func
+		}
+		return sites[i].Message < sites[j].Message
+	})
+	for _, s := range sites {
+		if current[s] > baseline[s] {
+			ev := first[s]
+			out = append(out, Finding{
+				Pos:  token.Position{Filename: ev.File, Line: ev.Line, Column: ev.Col},
+				Rule: "hotalloc",
+				Message: fmt.Sprintf("new heap allocation in //sim:hotpath function %s: %q (%d in baseline, %d now); eliminate it or refresh with simlint -alloc-update",
+					s.Func, s.Message, baseline[s], current[s]),
+			})
+		}
+	}
+	stale := make([]AllocSite, 0)
+	for s := range baseline {
+		if current[s] < baseline[s] {
+			stale = append(stale, s)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].Func != stale[j].Func {
+			return stale[i].Func < stale[j].Func
+		}
+		return stale[i].Message < stale[j].Message
+	})
+	for _, s := range stale {
+		out = append(out, Finding{
+			Pos:  token.Position{Filename: baselinePath},
+			Rule: "hotalloc",
+			Message: fmt.Sprintf("baseline entry for %s: %q (x%d) is no longer produced (now %d); refresh with simlint -alloc-update",
+				s.Func, s.Message, baseline[s], current[s]),
+		})
+	}
+	return out
+}
+
+// ParseAllocBaseline reads the tab-separated "count<TAB>func<TAB>message"
+// baseline format written by FormatAllocBaseline.
+func ParseAllocBaseline(data []byte) (map[AllocSite]int, error) {
+	m := map[AllocSite]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("lint: hotalloc baseline line %d: want count<TAB>func<TAB>message", i+1)
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lint: hotalloc baseline line %d: bad count %q", i+1, parts[0])
+		}
+		m[AllocSite{Func: parts[1], Message: parts[2]}] += n
+	}
+	return m, nil
+}
+
+// FormatAllocBaseline renders a site multiset in the checked-in baseline
+// format, sorted for stable diffs.
+func FormatAllocBaseline(current map[AllocSite]int) []byte {
+	sites := make([]AllocSite, 0, len(current))
+	for s := range current {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Func != sites[j].Func {
+			return sites[i].Func < sites[j].Func
+		}
+		return sites[i].Message < sites[j].Message
+	})
+	var b strings.Builder
+	b.WriteString("# Heap allocations in //sim:hotpath functions, as reported by\n")
+	b.WriteString("# `go build -gcflags=-m`. Regenerate with `make lint-alloc-baseline`\n")
+	b.WriteString("# after a deliberate change. Format: count<TAB>function<TAB>message.\n")
+	for _, s := range sites {
+		fmt.Fprintf(&b, "%d\t%s\t%s\n", current[s], s.Func, s.Message)
+	}
+	return []byte(b.String())
+}
+
+// CheckHotAllocs runs the compiler in dir, attributes its escape events
+// to hotpath functions, and either diffs against the baseline at
+// baselinePath (update=false) or rewrites it (update=true). pkgs must be
+// the module loaded with Dir dir so file names line up with compiler
+// output.
+func CheckHotAllocs(dir string, pkgs []*Package, prog *Program, baselinePath string, update bool) ([]Finding, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out)
+	}
+	current, first := HotpathAllocs(pkgs, prog, ParseEscapeOutput(out))
+	if update {
+		return nil, os.WriteFile(baselinePath, FormatAllocBaseline(current), 0o644)
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: hotalloc baseline: %v (generate it with simlint -alloc-update)", err)
+	}
+	baseline, err := ParseAllocBaseline(data)
+	if err != nil {
+		return nil, err
+	}
+	return CompareAllocs(current, first, baseline, baselinePath), nil
+}

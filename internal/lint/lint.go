@@ -41,6 +41,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one rule violation at a source position.
@@ -89,24 +90,69 @@ type Rule interface {
 	Check(pkg *Package) []Finding
 }
 
+// ModuleRule is a rule that needs the whole module at once — the
+// interprocedural rules (taint, shardsafe) and the rules that read one
+// package's source on behalf of others (ckptcover, sim). Run calls
+// CheckModule exactly once per invocation instead of Check per package;
+// findings still position themselves at the offending line, so
+// //lint:ignore works unchanged.
+type ModuleRule interface {
+	Rule
+	// CheckModule analyses the full package slice.
+	CheckModule(pkgs []*Package) []Finding
+}
+
+// RuleTiming records how long one rule took over the whole module and how
+// many findings survived suppression; cmd/simlint -v prints the table.
+type RuleTiming struct {
+	Rule     string
+	Elapsed  time.Duration
+	Findings int
+}
+
 // Run applies every rule to every package, drops findings covered by a
 // well-formed //lint:ignore directive, reports malformed directives, and
 // returns the survivors sorted by position.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	out, _ := RunTimed(pkgs, rules)
+	return out
+}
+
+// RunTimed is Run plus a per-rule timing table, in rule order.
+func RunTimed(pkgs []*Package, rules []Rule) ([]Finding, []RuleTiming) {
+	ig := ignoreSet{}
 	var out []Finding
 	for _, pkg := range pkgs {
-		ig, bad := directives(pkg)
+		pig, bad := directives(pkg)
 		out = append(out, bad...)
-		for _, r := range rules {
-			for _, f := range r.Check(pkg) {
-				if !ig.covers(f) {
-					out = append(out, f)
-				}
-			}
+		// File names are unique across packages (one FileSet per Load),
+		// so merging per-package suppression sets is a plain union.
+		for file, byLine := range pig {
+			ig[file] = byLine
 		}
 	}
+	timings := make([]RuleTiming, 0, len(rules))
+	for _, r := range rules {
+		start := time.Now()
+		var found []Finding
+		if mr, ok := r.(ModuleRule); ok {
+			found = mr.CheckModule(pkgs)
+		} else {
+			for _, pkg := range pkgs {
+				found = append(found, r.Check(pkg)...)
+			}
+		}
+		kept := 0
+		for _, f := range found {
+			if !ig.covers(f) {
+				out = append(out, f)
+				kept++
+			}
+		}
+		timings = append(timings, RuleTiming{Rule: r.Name(), Elapsed: time.Since(start), Findings: kept})
+	}
 	Sort(out)
-	return out
+	return out, timings
 }
 
 // Sort orders findings by file, line, column, rule, message — the stable

@@ -41,24 +41,42 @@ func (r NoClock) Check(pkg *Package) []Finding {
 	// position before anything consumes them.
 	for id, obj := range pkg.Info.Uses {
 		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil {
+		if !ok {
 			continue
 		}
+		label, kind := nondetCall(fn)
 		var msg string
-		switch fn.Pkg().Path() {
-		case "time":
-			if clockFuncs[fn.Name()] {
-				msg = fmt.Sprintf("time.%s reads the wall clock; deterministic packages must be pure in (spec, seed) — wall-clock timing belongs in the CLI/report layer", fn.Name())
-			}
-		case "math/rand", "math/rand/v2":
-			sig, okSig := fn.Type().(*types.Signature)
-			if okSig && sig.Recv() == nil && !seededRandOK[fn.Name()] {
-				msg = fmt.Sprintf("global %s.%s draws from the process-wide source; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
-			}
+		switch kind {
+		case "clock":
+			msg = fmt.Sprintf("%s reads the wall clock; deterministic packages must be pure in (spec, seed) — wall-clock timing belongs in the CLI/report layer", label)
+		case "rand":
+			msg = fmt.Sprintf("global %s draws from the process-wide source; use an explicitly seeded *rand.Rand", label)
 		}
 		if msg != "" {
 			out = append(out, Finding{Pos: pkg.Fset.Position(id.Pos()), Rule: r.Name(), Message: msg})
 		}
 	}
 	return out
+}
+
+// nondetCall classifies a referenced function as a wall-clock read (kind
+// "clock") or a draw from the global math/rand source (kind "rand"),
+// returning its qualified name; kind is "" for anything else. Shared by
+// NoClock (in-scope packages) and Taint (functions reachable from scope).
+func nondetCall(fn *types.Func) (label, kind string) {
+	if fn.Pkg() == nil {
+		return "", ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if clockFuncs[fn.Name()] {
+			return "time." + fn.Name(), "clock"
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() == nil && !seededRandOK[fn.Name()] {
+			return fn.Pkg().Name() + "." + fn.Name(), "rand"
+		}
+	}
+	return "", ""
 }

@@ -1,0 +1,38 @@
+package lint
+
+// Program caches the module-wide analysis state — the call graph and the
+// parsed //sim: annotations — that the interprocedural rules share. The
+// rules in one Run are configured with one *Program, so the graph is
+// built once per lint invocation no matter how many rules consume it; a
+// later Run over a different package slice (the fixture tests load
+// several) transparently rebuilds.
+type Program struct {
+	pkgs []*Package
+	// CG is the module call graph; Ann the //sim: annotation set. Both
+	// are valid only after At.
+	CG  *CallGraph
+	Ann *annotations
+}
+
+// At returns the program state for pkgs, building it on first use and
+// whenever the package slice changes.
+func (p *Program) At(pkgs []*Package) *Program {
+	if p.CG == nil || !samePkgs(p.pkgs, pkgs) {
+		p.pkgs = pkgs
+		p.CG = buildCallGraph(pkgs)
+		p.Ann = parseSimAnnotations(pkgs)
+	}
+	return p
+}
+
+func samePkgs(a, b []*Package) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -94,11 +94,27 @@ var repoDocumented = map[string]bool{
 	"itbsim/internal/routes":   true,
 }
 
+// RepoShardRoot is the shard phase driver every worker goroutine runs;
+// shardsafe walks the call graph from here. RepoShardState is the shared
+// simulator header those phases must not write outside a //sim:barrier.
+const (
+	RepoShardRoot  = "(*itbsim/internal/netsim.Sim).shardPhases"
+	RepoShardState = "itbsim/internal/netsim.Sim"
+)
+
 // RepoRules returns the shipped rule set configured for this repository.
+// The interprocedural rules share one Program, so the module call graph
+// is built once per lint run.
 func RepoRules() []Rule {
+	prog := &Program{}
 	return []Rule{
 		DetRange{Scope: repoDeterministic},
 		NoClock{Scope: repoDeterministic},
+		Taint{Scope: repoDeterministic, Prog: prog},
+		ShardSafe{Root: RepoShardRoot, State: RepoShardState, Prog: prog},
+		CkptCover{Pkg: "itbsim/internal/netsim", FieldsVar: "checkpointFields", ExemptVar: "checkpointExempt"},
+		Exhaustive{Module: RepoModule},
+		SimDirectives{Prog: prog},
 		Layering{Module: RepoModule, Layers: repoLayers, PrefixLayers: repoPrefixLayers},
 		ErrCheckLite{Allow: DefaultErrCheckAllow},
 		FloatEq{Scope: repoStats},

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ShardSafe enforces the sharded core's write discipline. During a cycle,
+// shard workers run the phase driver concurrently over disjoint element
+// partitions; the determinism and race-freedom proof (DESIGN.md,
+// "Sharded core") rests on phase code writing only shard-local state (the shard struct's
+// delta counters, staged double buffers, element fields it owns) — never
+// a Sim-level field, which every worker shares. The serial merge at the
+// cycle barrier is where Sim fields are folded from shard deltas.
+//
+// The rule walks the call graph from the configured phase driver and
+// flags every direct write to a field of the configured state struct
+// (assignment, compound assignment, ++/--, or a whole-struct *p = write)
+// in any reachable function. Traversal stops at functions annotated
+//
+//	//sim:barrier <reason>
+//
+// which declares the function serial-by-construction (it runs only on the
+// coordinating goroutine); the reason documents why. Element-level writes
+// through Sim-held slices (s.links[i].flits = …) are intentionally not
+// findings: partition ownership makes them shard-local, and that is
+// exactly the state phases exist to mutate.
+type ShardSafe struct {
+	// Root is the full name of the phase driver, e.g.
+	// "itbsim/internal/netsim.(*Sim).shardPhases".
+	Root string
+	// State is the qualified shared-state struct, e.g.
+	// "itbsim/internal/netsim.Sim".
+	State string
+	// Prog supplies the shared call graph and annotations.
+	Prog *Program
+}
+
+// Name implements Rule.
+func (ShardSafe) Name() string { return "shardsafe" }
+
+// Doc implements Rule.
+func (ShardSafe) Doc() string {
+	return "Sim-level field write reachable from the shard phase driver"
+}
+
+// Check implements Rule; the work happens in CheckModule.
+func (ShardSafe) Check(*Package) []Finding { return nil }
+
+// CheckModule implements ModuleRule.
+func (r ShardSafe) CheckModule(pkgs []*Package) []Finding {
+	prog := r.Prog.At(pkgs)
+	g := prog.CG
+
+	root := g.Lookup(r.Root)
+	if root == nil {
+		// The root was renamed or deleted: fail loudly rather than
+		// silently checking nothing.
+		return []Finding{{Pos: token.Position{Filename: "shardsafe(config)"}, Rule: r.Name(),
+			Message: fmt.Sprintf("root %q is not declared in the module; update the rule configuration", r.Root)}}
+	}
+	state := lookupNamedType(pkgs, r.State)
+	if state == nil {
+		return []Finding{{Pos: token.Position{Filename: "shardsafe(config)"}, Rule: r.Name(),
+			Message: fmt.Sprintf("state type %q is not declared in the module; update the rule configuration", r.State)}}
+	}
+
+	parent := g.Reachable([]*types.Func{root}, func(fn *types.Func) bool {
+		return prog.Ann.has(fn, "barrier")
+	})
+	reached := make([]*types.Func, 0, len(parent))
+	for fn := range parent {
+		reached = append(reached, fn)
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].FullName() < reached[j].FullName() })
+
+	stateName := state.Obj().Pkg().Name() + "." + state.Obj().Name()
+	var out []Finding
+	for _, fn := range reached {
+		node := g.Node(fn)
+		chain := Chain(parent, fn)
+		check := func(lhs ast.Expr, pos token.Pos) {
+			field, whole := stateFieldWrite(node.Pkg, lhs, state)
+			if field == "" && !whole {
+				return
+			}
+			what := fmt.Sprintf("field %s.%s", stateName, field)
+			if whole {
+				what = fmt.Sprintf("the whole %s struct", stateName)
+			}
+			out = append(out, Finding{
+				Pos:  node.Pkg.Fset.Position(pos),
+				Rule: r.Name(),
+				Message: fmt.Sprintf(
+					"write to %s inside the shard phase call graph: %s; stage a per-shard delta and fold it at the cycle barrier, or mark the function //sim:barrier <reason> if it is serial by construction",
+					what, chain),
+			})
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					check(lhs, st.TokPos)
+				}
+			case *ast.IncDecStmt:
+				check(st.X, st.TokPos)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// stateFieldWrite reports whether lhs writes a field of the state struct
+// (returning the field name) or the whole struct through a pointer
+// (whole=true). Writes through intermediate pointers, slices or maps are
+// not state-struct writes — the memory written is element- or
+// shard-owned, not the shared header.
+func stateFieldWrite(pkg *Package, lhs ast.Expr, state *types.Named) (field string, whole bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; !ok || sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		tv, ok := pkg.Info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		if derefNamed(tv.Type) == state.Obj() {
+			return e.Sel.Name, false
+		}
+	case *ast.StarExpr:
+		tv, ok := pkg.Info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+			if derefNamed(ptr) == state.Obj() {
+				return "", true
+			}
+		}
+	}
+	return "", false
+}
+
+// derefNamed strips one level of pointer and returns the named type's
+// object, or nil.
+func derefNamed(t types.Type) *types.TypeName {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// lookupNamedType resolves "pkgpath.TypeName" against the loaded packages.
+func lookupNamedType(pkgs []*Package, qualified string) *types.Named {
+	dot := strings.LastIndex(qualified, ".")
+	if dot < 0 {
+		return nil
+	}
+	path, name := qualified[:dot], qualified[dot+1:]
+	for _, pkg := range pkgs {
+		if pkg.Path != path {
+			continue
+		}
+		tn, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, _ := tn.Type().(*types.Named)
+		return named
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package ckpt exercises the ckptcover rule: the two map literals stand
+// in for netsim's checkpointFields/checkpointExempt.
+package ckpt
+
+// Thing has one covered field (A), one exempt field (C), one uncovered
+// field (B, a finding at the field), and one suppressed field (D).
+type Thing struct {
+	A int
+	B int // want ckptcover
+	//lint:ignore ckptcover fixture: justified omission
+	D int
+	C int
+}
+
+// Other is fully covered, unexported field included: clean.
+type Other struct {
+	X int
+	y int
+}
+
+var ckptFields = map[string][]string{
+	"ckpt.Thing":   {"A", "Gone"}, // "Gone" is stale: finding
+	"ckpt.Missing": {"A"},         // unresolvable type key: finding
+	"ckpt.Other":   {"X", "y"},
+}
+
+var ckptExempt = map[string][]string{
+	"ckpt.Thing": {"C", "A"}, // "A" is also serialized: finding
+}
+
+// use keeps the maps referenced.
+var _ = []any{ckptFields, ckptExempt, Thing{}.y2(), Other{}}
+
+// y2 keeps the unexported fields referenced.
+func (t Thing) y2() int { return t.B + t.D }

@@ -12,9 +12,22 @@ func Drop(path string) {
 	os.Remove(path) // want errcheck-lite
 }
 
-// Shrug discards explicitly: never a finding.
+// Shrug discards explicitly via _ =: finding since the blank-assignment
+// extension — the shrug says nothing about why the error cannot matter.
 func Shrug(path string) {
-	_ = os.Remove(path)
+	_ = os.Remove(path) // want errcheck-lite
+}
+
+// ShrugAll discards every result of a multi-value call: finding.
+func ShrugAll(path string) {
+	_, _ = os.Create(path) // want errcheck-lite
+}
+
+// Bound keeps a real variable on the left: never a finding (the error
+// path was considered, even if the other result is blanked).
+func Bound(path string) *os.File {
+	f, _ := os.Create(path)
+	return f
 }
 
 // Handle handles the error: never a finding.
@@ -25,10 +38,13 @@ func Handle(path string) error {
 	return nil
 }
 
-// Print uses the allow-listed best-effort output calls: never a finding.
+// Print uses the allow-listed best-effort output calls — as statements
+// and as blank assignments: never a finding.
 func Print(b *strings.Builder) {
 	fmt.Println("ok")
 	b.WriteString("ok")
+	_, _ = fmt.Println("ok")
+	_ = b.WriteByte('x')
 }
 
 // Deferred closes are exempt by design: never a finding.
@@ -45,4 +61,10 @@ func Deferred(path string) error {
 func Justified(path string) {
 	//lint:ignore errcheck-lite best-effort cleanup of a scratch file
 	os.Remove(path)
+}
+
+// JustifiedShrug blanks with a reason: suppressed.
+func JustifiedShrug(path string) {
+	//lint:ignore errcheck-lite best-effort cleanup of a scratch file
+	_ = os.Remove(path)
 }

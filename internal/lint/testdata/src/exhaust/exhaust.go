@@ -1,0 +1,73 @@
+// Package exhaust exercises the exhaustive rule.
+package exhaust
+
+import "time"
+
+// Color is an enum-like type: a named module type with basic underlying
+// kind and declared constants.
+type Color int
+
+// The colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Partial misses Blue and has no default: finding.
+func Partial(c Color) string {
+	switch c { // want exhaustive
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	}
+	return "?"
+}
+
+// Full covers every constant: clean.
+func Full(c Color) int {
+	switch c {
+	case Red, Green, Blue:
+		return 1
+	}
+	return 0
+}
+
+// Defaulted has a default: clean.
+func Defaulted(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Unnamed switches over a plain int: out of scope.
+func Unnamed(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Stdlib enums are out of scope: the rule only owns module types.
+func Stdlib(m time.Month) int {
+	switch m {
+	case time.January:
+		return 1
+	}
+	return 0
+}
+
+// Suppressed is a deliberate partial switch with a reason.
+func Suppressed(c Color) int {
+	//lint:ignore exhaustive fixture: deliberate partial switch
+	switch c {
+	case Red:
+		return 1
+	}
+	return 0
+}

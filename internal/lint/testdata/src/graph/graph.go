@@ -1,0 +1,60 @@
+// Package graph exercises the call-graph builder: static calls, interface
+// dispatch, function-value calls, method values, and promoted methods.
+// No lint rule is expected to fire here; callgraph_test asserts the
+// resolved edges directly.
+package graph
+
+// Doer is implemented by A (value receiver) and B (pointer receiver).
+type Doer interface{ Do() }
+
+// A implements Doer with a value receiver.
+type A struct{}
+
+// Do calls helperA.
+func (A) Do() { helperA() }
+
+// B implements Doer with a pointer receiver.
+type B struct{}
+
+// Do calls helperB.
+func (*B) Do() { helperB() }
+
+// C embeds A and gets Do by promotion.
+type C struct{ A }
+
+func helperA() {}
+func helperB() {}
+
+// CallIface dispatches through the interface: edges to both Do methods.
+func CallIface(d Doer) { d.Do() }
+
+// CallEmbedded calls the promoted method: a static edge to A.Do, where
+// the body lives.
+func CallEmbedded(c C) { c.Do() }
+
+// CallValue calls a function-value parameter: edges to every
+// address-taken module function with a matching signature.
+func CallValue(f func(int) int) int { return f(3) }
+
+// Double is address-taken (in UseF), so CallValue can reach it.
+func Double(x int) int { return 2 * x }
+
+// Triple has the same signature but is never address-taken: no edge.
+func Triple(x int) int { return 3 * x }
+
+// UseF passes Double as a value (the address-taking reference).
+func UseF() int { return CallValue(Double) + Triple(1) }
+
+// Static is a plain static call.
+func Static() { helperA() }
+
+// TakeMethodValue returns a bound method value, making A.Do
+// address-taken under the receiver-less signature func().
+func TakeMethodValue() func() {
+	a := A{}
+	return a.Do
+}
+
+// CallThunk calls a niladic function value: A.Do is a candidate target
+// via the method value above.
+func CallThunk(f func()) { f() }

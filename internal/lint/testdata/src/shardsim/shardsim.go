@@ -1,0 +1,76 @@
+// Package shardsim exercises the shardsafe rule and the //sim:
+// annotation grammar. Core stands in for netsim.Sim, phases for the
+// shard worker entry point.
+package shardsim
+
+// Core is the shared state header; phase code must not write its fields.
+type Core struct {
+	progress int64
+	cells    []int64
+}
+
+// scratch is shard-local state; phases may write it freely.
+type scratch struct{ d int64 }
+
+// phases is the worker entry point (the configured shardsafe root).
+func (c *Core) phases(l *scratch) {
+	l.d++        // shard-local: clean
+	c.cells[0]++ // element write through a Core-held slice: clean by design
+	c.bump(l)
+	c.merge()
+	c.bumpIgnored()
+	c.reset(c)
+}
+
+// bump writes a Core field from phase context: finding.
+func (c *Core) bump(l *scratch) {
+	c.progress++ // want shardsafe
+	l.d++
+}
+
+// merge is the serial cycle barrier: its own write is exempt and its
+// callees are not traversed.
+//
+//sim:barrier fixture: serial by contract, runs after the worker join
+func (c *Core) merge() {
+	c.progress++
+	c.deep()
+}
+
+// deep writes Core state but is reachable only through the barrier: no
+// finding, proving traversal stops there.
+func (c *Core) deep() { c.progress = 0 }
+
+// bumpIgnored carries a justified suppression at the write.
+func (c *Core) bumpIgnored() {
+	//lint:ignore shardsafe fixture: justified write
+	c.progress++
+}
+
+// reset replaces the whole struct through a pointer: finding.
+func (c *Core) reset(p *Core) {
+	*p = Core{} // want shardsafe
+}
+
+// hot is annotated for the hotalloc attribution test; the escape events
+// the test fabricates inside this function's line range must be
+// attributed to it.
+//
+//sim:hotpath
+func hot() *scratch {
+	return &scratch{}
+}
+
+//sim:frobnicate
+func oops() {} // want sim: unknown verb
+
+//sim:barrier
+func oops2() {} // want sim: missing argument
+
+// The annotation below attaches to nothing: finding.
+//
+//sim:hotpath
+var floating = 1
+
+// use keeps the unexported fixtures referenced.
+var _ = []any{oops, oops2, hot, floating}

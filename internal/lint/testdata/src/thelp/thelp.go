@@ -1,0 +1,37 @@
+// Package thelp holds helpers outside the deterministic scope; the taint
+// rule reports violations here when fixture/troot (the scope) reaches
+// them through the call graph.
+package thelp
+
+import "time"
+
+// Leaf reads the clock two calls below scope: taint finding with the
+// full chain.
+func Leaf() int64 {
+	return time.Now().UnixNano() // want taint
+}
+
+// Mid forwards to Leaf.
+func Mid() int64 { return Leaf() }
+
+// MapWalk ranges a map: taint finding via troot.Root.
+func MapWalk(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want taint
+		t += v
+	}
+	return t
+}
+
+// Clean is reachable but clean: no finding.
+func Clean(x int) int { return x + 1 }
+
+// Unreached violates but nothing in scope calls it: no finding — taint
+// is about reachability, not package membership.
+func Unreached() int64 { return time.Now().UnixNano() }
+
+// Excused is reachable and suppressed at the violation site.
+func Excused() int64 {
+	//lint:ignore taint fixture: wall-clock reporting only
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,13 @@
+// Package troot is the deterministic scope of the taint fixture: its
+// functions are the reachability roots.
+package troot
+
+import "fixture/thelp"
+
+// Root reaches the violating helpers in fixture/thelp.
+func Root(m map[string]int) int64 {
+	return thelp.Mid() + int64(thelp.MapWalk(m)) + thelp.Excused()
+}
+
+// CleanRoot reaches only clean code.
+func CleanRoot() int { return thelp.Clean(1) }

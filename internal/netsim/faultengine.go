@@ -51,8 +51,9 @@ func (r DropReason) String() string {
 		return "dead-output"
 	case DropNoRoute:
 		return "no-route"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
-	return fmt.Sprintf("DropReason(%d)", int(r))
 }
 
 // DropStats counts destroyed packets by reason.
@@ -414,12 +415,15 @@ func (fe *faultEngine) killNICCustody(s *Sim, n *nic) {
 // discarded on arrival. kill runs only on the serial coordinator (event
 // application at cycle start, the end-of-cycle dead-route drain, retry
 // timers) — phase code defers kills via shard.deadRouteReqs.
+//
+//sim:barrier phase code defers kills via shard.deadRouteReqs; kill runs only on the serial coordinator
 func (fe *faultEngine) kill(s *Sim, p *packet, reason DropReason) {
 	if p.dead {
 		return
 	}
 	p.dead = true
 	fe.droppedPackets++
+	//lint:ignore exhaustive numDropReasons is the count sentinel, never a live reason; droppedPackets above counts every kill
 	switch reason {
 	case DropInFlight:
 		fe.drops.InFlight++

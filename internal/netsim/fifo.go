@@ -30,6 +30,8 @@ func (f *fifo) headSeg() *flitSeg {
 
 // push adds n flits of pkt at the back, merging with the final run when it
 // belongs to the same packet and its tail has not yet been seen.
+//
+//sim:hotpath
 func (f *fifo) push(pkt *packet, n int, tail bool) {
 	f.occ += n
 	if f.head < len(f.segs) {
@@ -44,6 +46,8 @@ func (f *fifo) push(pkt *packet, n int, tail bool) {
 }
 
 // take removes n flits from the head run (which must have at least n).
+//
+//sim:hotpath
 func (f *fifo) take(n int) {
 	s := &f.segs[f.head]
 	s.flits -= n

@@ -70,6 +70,8 @@ type link struct {
 
 // pushFlit puts one flit on the cable at the current cycle. Called by the
 // sender-side component; sh is its shard (nil from serial code).
+//
+//sim:hotpath
 func (l *link) pushFlit(s *Sim, sh *shard, pkt *packet, tail bool) {
 	if l.credits != nil {
 		l.credits[pkt.vc]--
@@ -96,6 +98,8 @@ func (l *link) pushFlit(s *Sim, sh *shard, pkt *packet, tail bool) {
 // pushSignal sends a stop/go control flit back to the sender. Signals on a
 // dead cable vanish; the sender-side state is resynchronized on repair.
 // Called by the receiver-side port; sh is its shard (nil from serial code).
+//
+//sim:hotpath
 func (l *link) pushSignal(s *Sim, sh *shard, stop bool) {
 	if l.down {
 		return
@@ -116,6 +120,8 @@ func (l *link) pushSignal(s *Sim, sh *shard, stop bool) {
 // cross-shard pushes exactly as pushSignal does; VC mode excludes faults,
 // so there is no dead-cable case. Called by the receiver-side component; sh
 // is its shard (nil from serial code).
+//
+//sim:hotpath
 func (l *link) pushCredit(s *Sim, sh *shard, vc int) {
 	g := signalInFlight{vc: uint8(vc), arrive: s.now + int64(s.p.LinkFlightCycles)}
 	if sh != nil && int32(sh.id) != l.sendShard {
@@ -131,6 +137,8 @@ func (l *link) pushCredit(s *Sim, sh *shard, vc int) {
 
 // deliverSignals applies arrived control flits to the sender-side state.
 // Runs in the sender shard.
+//
+//sim:hotpath
 func (l *link) deliverSignals(s *Sim) {
 	for l.sgHead < len(l.signals) && l.signals[l.sgHead].arrive <= s.now {
 		if l.credits != nil {
@@ -156,6 +164,8 @@ func (l *link) deliverSignals(s *Sim) {
 // shard. The drained head is compacted away every cycle so the backing
 // array (a slab slice shared by all links) never grows past the flits of
 // one flight window.
+//
+//sim:hotpath
 func (l *link) deliverFlits(s *Sim, sh *shard) {
 	for l.flHead < len(l.flits) && l.flits[l.flHead].arrive <= s.now {
 		f := l.flits[l.flHead]

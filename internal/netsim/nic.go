@@ -80,6 +80,8 @@ type nic struct {
 }
 
 // receive accepts one flit from the down-link.
+//
+//sim:hotpath
 func (n *nic) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
 	if s.vcMode {
 		n.receiveVC(s, sh, pkt, tail)
@@ -159,6 +161,8 @@ func (n *nic) startReception(s *Sim, pkt *packet) {
 
 // tick runs the per-cycle NIC work: DMA timers, message generation, and
 // starting a new injection when the previous one finished.
+//
+//sim:hotpath
 func (n *nic) tick(s *Sim, sh *shard) {
 	// Promote in-transit packets whose re-injection DMA has been
 	// programmed.
@@ -241,6 +245,8 @@ func (n *nic) sendQLen() int { return len(n.sendQ) - n.sendQH }
 // tickTransfer pushes one flit of the current injection onto the up-link.
 // Re-injections never outrun reception: flit k can only leave once flit k+1
 // (counting the stripped mark) has arrived.
+//
+//sim:hotpath
 func (n *nic) tickTransfer(s *Sim, sh *shard) {
 	if !n.active {
 		return

@@ -100,6 +100,8 @@ type shard struct {
 const pktChunkSize = 256
 
 // newPacket bump-allocates one packet from the shard's arena.
+//
+//sim:hotpath
 func (sh *shard) newPacket() *packet {
 	if sh.pktUsed == len(sh.pktChunk) {
 		sh.pktChunk = make([]packet, pktChunkSize)
@@ -117,6 +119,7 @@ func (s *Sim) bumpProgress(sh *shard) {
 	if sh != nil {
 		sh.dProgress++
 	} else {
+		//lint:ignore shardsafe sh == nil means a serial caller (dense path, cycle-edge code); the direct write cannot race
 		s.progress++
 	}
 }
@@ -126,6 +129,8 @@ func (s *Sim) bumpProgress(sh *shard) {
 // the pre-shard active-set loop: a component added mid-phase either is the
 // one being visited (its post-visit idle check sees the new work) or gains
 // work only observable next cycle.
+//
+//sim:hotpath
 func (s *Sim) shardPhases(sh *shard) {
 	// 1. Links deliver arrived flits and control signals. A link crossing
 	// a shard boundary appears in both end-shards' sets; each end only
@@ -266,6 +271,8 @@ func (s *Sim) stopWorkers() {
 // state, in shard order. Per-link staged arrays preserve production order,
 // so the merged flit/signal sequences are identical to what a single-shard
 // run would have appended directly.
+//
+//sim:barrier runs after every worker has finished its cycle; endCycle is the only caller
 func (s *Sim) mergeShards() {
 	for si := range s.shards {
 		sh := &s.shards[si]

@@ -592,6 +592,8 @@ func (s *Sim) pktID(n *nic) int64 {
 
 // generate creates one message at the given NIC, routes it, and queues it
 // for injection. Runs in the NIC's shard; all global accounting is staged.
+//
+//sim:hotpath
 func (s *Sim) generate(sh *shard, n *nic) {
 	dst := s.cfg.Dest(n.host, n.rng)
 	if dst < 0 || dst >= s.numHosts || dst == n.host {
@@ -647,6 +649,8 @@ func (s *Sim) generate(sh *shard, n *nic) {
 // deliver records the arrival of a complete message at its destination.
 // Runs in the destination NIC's shard; counters are staged and latencies go
 // to the shard's histograms (merged at finalize).
+//
+//sim:hotpath
 func (s *Sim) deliver(sh *shard, p *packet) {
 	if sh == nil {
 		// Serial callers don't exist today, but keep the invariant clear.

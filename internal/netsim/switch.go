@@ -35,6 +35,8 @@ type inPort struct {
 // receive accepts one flit from the link into the slack buffer and updates
 // stop/go flow control. If this flit starts a new head packet, the packet's
 // output request is registered.
+//
+//sim:hotpath
 func (ip *inPort) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
 	if s.vcMode {
 		ip.receiveVC(s, sh, pkt, tail)
@@ -68,6 +70,8 @@ func (ip *inPort) receive(s *Sim, sh *shard, pkt *packet, tail bool) {
 // phase (sh != nil) the kill is deferred — the port stages itself and the
 // serial end-of-cycle drain re-runs this loop with sh == nil, because kills
 // touch global fault accounting.
+//
+//sim:hotpath
 func (ip *inPort) requestRouting(s *Sim, sh *shard) {
 	for {
 		hs := ip.buf.headSeg()
@@ -151,6 +155,8 @@ type swtch struct {
 
 // tickRouting advances the routing control units of one switch: finishes
 // header setups and grants free output ports to requesting inputs.
+//
+//sim:hotpath
 func (sw *swtch) tickRouting(s *Sim, sh *shard) {
 	if s.vcMode {
 		sw.tickRoutingVC(s, sh)
@@ -221,6 +227,8 @@ func (sw *swtch) tickRouting(s *Sim, sh *shard) {
 // the connection down when the tail flit leaves. When a connection closes,
 // the next packet in the input buffer (if any) registers its routing
 // request.
+//
+//sim:hotpath
 func (sw *swtch) tickTransfer(s *Sim, sh *shard) {
 	if s.vcMode {
 		sw.tickTransferVC(s, sh)

@@ -55,8 +55,9 @@ func (k EventKind) String() string {
 		return "retry"
 	case EvReconfig:
 		return "reconfig"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
-	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
 // Event is one packet life-cycle event.
